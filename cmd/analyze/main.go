@@ -1,0 +1,123 @@
+// Command analyze runs the simulation and regenerates a selected table or
+// figure from the paper, printing its data rows (and CSV with -csv).
+//
+// Usage:
+//
+//	analyze [-seed N] [-days N] [-quick] [-csv] -exp <id>
+//
+// where <id> is one of: summary, fig2, fig3, table1, table2a, table2b,
+// fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, checks, all — plus
+// the extension studies: anomaly (automated anomaly scan), repair
+// (metadata-repair uplift), coopt (brokerage-policy comparison).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"panrucio/internal/analysis"
+	"panrucio/internal/anomaly"
+	"panrucio/internal/coopt"
+	"panrucio/internal/core"
+	"panrucio/internal/experiments"
+	"panrucio/internal/report"
+	"panrucio/internal/sim"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	days := flag.Int("days", 8, "study-window length in days")
+	quick := flag.Bool("quick", false, "use the reduced quick scenario")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables where applicable")
+	exp := flag.String("exp", "all", "experiment id (summary, fig2..fig12, table1, table2a, table2b, checks, all)")
+	flag.Parse()
+
+	cfg := sim.PaperConfig(*seed)
+	if *quick {
+		cfg = sim.QuickConfig(*seed)
+	}
+	cfg.Days = *days
+	s := experiments.Run(cfg)
+
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+	emitCase := func(cs *analysis.CaseStudy, withSummary bool) {
+		if cs == nil {
+			fmt.Println("(case study not present for this seed; try another)")
+			return
+		}
+		emit(cs.TimelineTable())
+		if withSummary {
+			emit(cs.TransferSummaryTable())
+		}
+	}
+
+	switch *exp {
+	case "summary":
+		emit(s.SummaryTable())
+	case "fig2":
+		emit(analysis.GrowthReport(s.Fig2()))
+	case "fig3":
+		emit(s.Fig3().Report(8))
+	case "table1":
+		emit(analysis.ActivityTable(s.Table1()))
+	case "table2a":
+		emit(s.Cmp.TransferCountTable())
+	case "table2b":
+		emit(s.Cmp.JobCountTable())
+	case "fig5":
+		emit(analysis.TopJobsTable("Fig. 5 — top local-transfer jobs", s.Fig5()))
+	case "fig6":
+		emit(analysis.TopJobsTable("Fig. 6 — top remote-transfer jobs", s.Fig6()))
+	case "fig7":
+		fmt.Println(report.RenderSeries("Fig. 7 — remote connection bandwidth", 72, s.Fig7()))
+	case "fig8":
+		fmt.Println(report.RenderSeries("Fig. 8 — local site bandwidth", 72, s.Fig8()))
+	case "fig9":
+		emit(s.Fig9().Table())
+	case "fig10":
+		emitCase(s.Fig10(), false)
+	case "fig11":
+		emitCase(s.Fig11(), false)
+	case "fig12":
+		emitCase(s.Fig12(), true)
+	case "anomaly":
+		rep := anomaly.NewScanner(s.Result.Grid).Scan(s.Cmp.RM2)
+		emit(rep.Table(10))
+	case "repair":
+		up, st := core.MeasureUplift(s.Result.Store, s.Result.Grid, s.Jobs, core.Exact)
+		t := &report.Table{
+			Title:   "Metadata repair uplift (RM2 inference -> exact re-match)",
+			Columns: []string{"metric", "value"},
+		}
+		t.AddRow("labels repaired", fmt.Sprintf("%d (%d duplicate-evidence, %d site-condition)",
+			st.LabelsRepaired, st.ByDuplicate, st.BySiteCondition))
+		t.AddRow("exact matched jobs", fmt.Sprintf("%d -> %d (+%d)",
+			up.Before.MatchedJobs, up.After.MatchedJobs, up.JobGain))
+		t.AddRow("exact matched transfers", fmt.Sprintf("%d -> %d (+%d)",
+			up.Before.MatchedTransfers, up.After.MatchedTransfers, up.TransferGain))
+		emit(t)
+	case "coopt":
+		cc := coopt.ContentionConfig(*seed, 2, 0.01)
+		emit(coopt.Table(coopt.Compare(cc, coopt.DefaultPolicies())))
+	case "checks":
+		for _, line := range s.ShapeChecks() {
+			fmt.Println(line)
+		}
+	case "all":
+		fmt.Print(s.RenderAll())
+		for _, line := range s.ShapeChecks() {
+			fmt.Println(line)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "analyze: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,51 @@
+// Command repro reproduces the paper's full evaluation in one run: it
+// simulates the study window, applies the exact/RM1/RM2 matching
+// framework, regenerates every table and figure (DESIGN.md E1-E13), and
+// finishes with the qualitative shape checks comparing this run against
+// the paper's reported results. Exit status is non-zero if any shape check
+// fails.
+//
+// Usage:
+//
+//	repro [-seed N] [-days N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"panrucio/internal/experiments"
+	"panrucio/internal/sim"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	days := flag.Int("days", 8, "study-window length in days (paper: 8)")
+	flag.Parse()
+
+	cfg := sim.PaperConfig(*seed)
+	cfg.Days = *days
+
+	fmt.Printf("panrucio repro: %d-day window, seed %d\n", *days, *seed)
+	start := time.Now()
+	s := experiments.Run(cfg)
+	fmt.Printf("simulation + matching completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Print(s.RenderAll())
+
+	fmt.Println("== shape checks vs. paper ==")
+	failures := 0
+	for _, line := range s.ShapeChecks() {
+		fmt.Println(line)
+		if strings.HasPrefix(line, "[FAIL]") {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "repro: %d shape check(s) failed\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,14 @@
+// Package panrucio is a from-scratch Go reproduction of "Data Management
+// System Analysis for Distributed Computing Workloads" (Hsu et al., SC
+// Workshops '25, DOI 10.1145/3731599.3767370): a discrete-event simulation
+// of the ATLAS distributed computing stack (the PanDA workload manager,
+// the Rucio data-management system, the WLCG network) plus a faithful
+// implementation of the paper's job-to-transfer metadata-matching
+// framework (exact Algorithm 1 and the relaxed RM1/RM2 strategies) and
+// the analyses that regenerate every table and figure of the evaluation.
+//
+// The root package holds only documentation and the benchmark harness
+// (bench_test.go); the implementation lives under internal/ (see DESIGN.md
+// for the system inventory) and the runnable entry points under cmd/ and
+// examples/.
+package panrucio

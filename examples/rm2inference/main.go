@@ -1,0 +1,67 @@
+// Rm2inference: demonstrate the paper's Section 5.4 insight that relaxed
+// matching is not just about coverage — RM2 matches let broken metadata be
+// repaired. The program counts UNKNOWN/invalid endpoint labels among
+// RM2-matched transfers, reconstructs them from duplicate evidence or the
+// site condition, and estimates the avoidable bytes behind redundant
+// transfers — the co-optimization opportunity the paper argues for.
+package main
+
+import (
+	"fmt"
+
+	"panrucio/internal/core"
+	"panrucio/internal/experiments"
+	"panrucio/internal/sim"
+	"panrucio/internal/stats"
+)
+
+func main() {
+	s := experiments.Run(sim.PaperConfig(5))
+	rm2 := s.Cmp.RM2
+	fmt.Printf("RM2 matched %d jobs / %d transfers (exact: %d / %d)\n\n",
+		rm2.MatchedJobs, rm2.MatchedTransfers,
+		s.Cmp.Exact.MatchedJobs, s.Cmp.Exact.MatchedTransfers)
+
+	var broken, inferred, byDuplicate, bySiteCond int
+	var redundantBytes int64
+	redundantJobs := 0
+	for i := range rm2.Matches {
+		m := &rm2.Matches[i]
+		for _, ev := range m.Transfers {
+			if _, ok := s.Result.Grid.Site(ev.SourceSite); !ok {
+				broken++
+			} else if _, ok := s.Result.Grid.Site(ev.DestinationSite); !ok {
+				broken++
+			}
+		}
+		infs := core.InferUnknownSites(m, s.Result.Grid)
+		inferred += len(infs)
+		for _, inf := range infs {
+			switch inf.Evidence {
+			case "duplicate":
+				byDuplicate++
+			default:
+				bySiteCond++
+			}
+		}
+		groups := core.FindRedundant(m)
+		if len(groups) > 0 {
+			redundantJobs++
+			for _, g := range groups {
+				for _, ev := range g.Events[1:] { // every copy beyond the first is avoidable
+					redundantBytes += ev.FileSize
+				}
+			}
+		}
+	}
+
+	fmt.Printf("matched transfers with missing/invalid endpoint labels: %d\n", broken)
+	fmt.Printf("labels reconstructed:                                   %d\n", inferred)
+	fmt.Printf("  via duplicate-pair evidence (Table 3 pattern):        %d\n", byDuplicate)
+	fmt.Printf("  via the site condition:                               %d\n", bySiteCond)
+	fmt.Printf("jobs with redundant transfers:                          %d\n", redundantJobs)
+	fmt.Printf("avoidable redundant volume:                             %s\n",
+		stats.FormatBytes(float64(redundantBytes)))
+	fmt.Println("\nEach reconstructed label converts an uncertain RM2 match toward an exact one;")
+	fmt.Println("each redundant group is data movement a PanDA-Rucio co-design could skip.")
+}

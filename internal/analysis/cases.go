@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"panrucio/internal/core"
+	"panrucio/internal/records"
+	"panrucio/internal/report"
+	"panrucio/internal/stats"
+	"panrucio/internal/topology"
+)
+
+// CaseStudy is one of the Section 5.4 case studies: a single matched job
+// with its transfer timeline and derived observations.
+type CaseStudy struct {
+	Kind  string // "long-transfer", "failed-spanning", "rm2-redundant"
+	Match core.Match
+
+	// ThroughputSpread is max/min throughput across the matched transfers
+	// (Fig. 10 reports ~17.7x between the fastest and slowest).
+	ThroughputSpread float64
+	// Sequential reports that no two transfers overlapped in time.
+	Sequential bool
+	// SpansQueueAndWall reports a transfer crossing the job's start time
+	// (Fig. 11).
+	SpansQueueAndWall bool
+	// Redundant holds duplicate-transfer groups (Fig. 12).
+	Redundant []core.RedundantGroup
+	// Inferences holds reconstructed site labels (Table 3 narrative).
+	Inferences []core.Inference
+}
+
+func buildCase(kind string, m core.Match, grid *topology.Grid) *CaseStudy {
+	cs := &CaseStudy{Kind: kind, Match: m}
+	minT, maxT := 0.0, 0.0
+	for i, ev := range m.Transfers {
+		if ev.ThroughputBps <= 0 {
+			continue
+		}
+		if i == 0 || ev.ThroughputBps < minT {
+			minT = ev.ThroughputBps
+		}
+		if ev.ThroughputBps > maxT {
+			maxT = ev.ThroughputBps
+		}
+	}
+	if minT > 0 {
+		cs.ThroughputSpread = maxT / minT
+	}
+	cs.Sequential = sequential(m.Transfers)
+	for _, ev := range m.Transfers {
+		if ev.StartedAt < m.Job.StartTime && ev.EndedAt > m.Job.StartTime {
+			cs.SpansQueueAndWall = true
+		}
+	}
+	cs.Redundant = core.FindRedundant(&m)
+	cs.Inferences = core.InferUnknownSites(&m, grid)
+	return cs
+}
+
+func sequential(evs []*records.TransferEvent) bool {
+	if len(evs) < 2 {
+		return true
+	}
+	s := append([]*records.TransferEvent(nil), evs...)
+	sort.Slice(s, func(i, j int) bool { return s[i].StartedAt < s[j].StartedAt })
+	for i := 1; i < len(s); i++ {
+		if s[i].StartedAt < s[i-1].EndedAt {
+			return false
+		}
+	}
+	return true
+}
+
+// FindLongTransferCase selects the Fig. 10 case: a *successful* job with
+// all-local transfers whose queue-transfer fraction is the highest in the
+// result (the paper's exemplar sits at 83 %). Returns nil when no job
+// qualifies above minFraction.
+func FindLongTransferCase(res *core.Result, grid *topology.Grid, minFraction float64) *CaseStudy {
+	var best *core.Match
+	bestFrac := minFraction
+	for i := range res.Matches {
+		m := &res.Matches[i]
+		if m.Job.Status != records.JobFinished || m.Class() != core.AllLocal {
+			continue
+		}
+		if len(m.Transfers) < 2 {
+			continue
+		}
+		if f := m.QueueTransferFraction(); f >= bestFrac {
+			best, bestFrac = m, f
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return buildCase("long-transfer", *best, grid)
+}
+
+// FindFailedSpanningCase selects the Fig. 11 case: a *failed* job with a
+// matched transfer spanning its queue and wall phases. Among candidates the
+// one with the largest lifetime fraction spent transferring wins.
+func FindFailedSpanningCase(res *core.Result, grid *topology.Grid) *CaseStudy {
+	var best *core.Match
+	bestScore := 0.0
+	for i := range res.Matches {
+		m := &res.Matches[i]
+		if m.Job.Status != records.JobFailed {
+			continue
+		}
+		spans := false
+		var transfer float64
+		for _, ev := range m.Transfers {
+			if ev.StartedAt < m.Job.StartTime && ev.EndedAt > m.Job.StartTime {
+				spans = true
+			}
+			transfer += ev.Duration().Seconds()
+		}
+		if !spans || m.Job.Lifetime() <= 0 {
+			continue
+		}
+		score := transfer / m.Job.Lifetime().Seconds()
+		if score > bestScore {
+			best, bestScore = m, score
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return buildCase("failed-spanning", *best, grid)
+}
+
+// FindRM2RedundantCase selects the Fig. 12 / Table 3 case: an RM2-matched
+// job with duplicate transfers of the same files where at least one copy
+// lost its site label, so the label is reconstructible. rm2 must be an RM2
+// result.
+func FindRM2RedundantCase(rm2 *core.Result, grid *topology.Grid) *CaseStudy {
+	var best *CaseStudy
+	for i := range rm2.Matches {
+		m := rm2.Matches[i]
+		groups := core.FindRedundant(&m)
+		if len(groups) == 0 {
+			continue
+		}
+		infs := core.InferUnknownSites(&m, grid)
+		hasDup := false
+		for _, inf := range infs {
+			if inf.Evidence == "duplicate" {
+				hasDup = true
+			}
+		}
+		if !hasDup {
+			continue
+		}
+		cs := buildCase("rm2-redundant", m, grid)
+		if best == nil || len(cs.Redundant) > len(best.Redundant) {
+			best = cs
+		}
+	}
+	return best
+}
+
+// TimelineTable renders the case's job phases and transfer intervals
+// (Figs. 10-12 as data rows).
+func (cs *CaseStudy) TimelineTable() *report.Table {
+	j := cs.Match.Job
+	t := &report.Table{
+		Title: fmt.Sprintf("Case %s — pandaid %d (%s, task %s) at %s",
+			cs.Kind, j.PandaID, j.Status, j.TaskStatus, j.ComputingSite),
+		Columns: []string{"item", "start", "end", "detail"},
+	}
+	t.AddRow("queuing", j.CreationTime.String(), j.StartTime.String(),
+		fmt.Sprintf("%ds", j.QueueTime()))
+	t.AddRow("execution", j.StartTime.String(), j.EndTime.String(),
+		fmt.Sprintf("%ds", j.WallTime()))
+	evs := append([]*records.TransferEvent(nil), cs.Match.Transfers...)
+	sort.Slice(evs, func(a, b int) bool { return evs[a].StartedAt < evs[b].StartedAt })
+	for i, ev := range evs {
+		t.AddRow(fmt.Sprintf("transfer %d", i),
+			ev.StartedAt.String(), ev.EndedAt.String(),
+			fmt.Sprintf("%s %s->%s @ %s", stats.FormatBytes(float64(ev.FileSize)),
+				ev.SourceSite, ev.DestinationSite, stats.FormatRate(ev.ThroughputBps)))
+	}
+	if cs.ThroughputSpread > 0 {
+		t.AddRow("throughput spread", "", "", fmt.Sprintf("%.1fx", cs.ThroughputSpread))
+	}
+	t.AddRow("sequential transfers", "", "", fmt.Sprintf("%v", cs.Sequential))
+	if cs.SpansQueueAndWall {
+		t.AddRow("spans queue+wall", "", "", "true")
+	}
+	if j.ErrorCode != 0 {
+		t.AddRow("error", "", "", fmt.Sprintf("%d: %s", j.ErrorCode, j.ErrorMessage))
+	}
+	return t
+}
+
+// TransferSummaryTable renders the Table 3 field-by-field transfer summary
+// of the case's transfers.
+func (cs *CaseStudy) TransferSummaryTable() *report.Table {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Table 3 — transfer summary for pandaid %d", cs.Match.Job.PandaID),
+		Columns: []string{"Field"},
+	}
+	evs := append([]*records.TransferEvent(nil), cs.Match.Transfers...)
+	sort.Slice(evs, func(a, b int) bool { return evs[a].StartedAt < evs[b].StartedAt })
+	for i := range evs {
+		t.Columns = append(t.Columns, fmt.Sprintf("Transfer %d", i))
+	}
+	row := func(name string, f func(*records.TransferEvent) string) {
+		cells := []string{name}
+		for _, ev := range evs {
+			cells = append(cells, f(ev))
+		}
+		t.AddRow(cells...)
+	}
+	row("Source Site", func(ev *records.TransferEvent) string { return ev.SourceSite })
+	row("Destination Site", func(ev *records.TransferEvent) string { return ev.DestinationSite })
+	row("File Size (Byte)", func(ev *records.TransferEvent) string { return fmt.Sprintf("%d", ev.FileSize) })
+	row("Activity", func(ev *records.TransferEvent) string { return string(ev.Activity) })
+	row("Throughput (Byte/s)", func(ev *records.TransferEvent) string { return fmt.Sprintf("%.1f", ev.ThroughputBps) })
+	for _, inf := range cs.Inferences {
+		t.AddRow(fmt.Sprintf("inferred %s", inf.Field), inf.InferredSite,
+			fmt.Sprintf("evidence: %s", inf.Evidence))
+	}
+	return t
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+
+	"panrucio/internal/core"
+	"panrucio/internal/records"
+	"panrucio/internal/report"
+)
+
+// StatusCombo is one of Fig. 9's four job/task outcome combinations.
+type StatusCombo int
+
+// The four combinations, in the paper's legend order.
+const (
+	JobOKTaskOK StatusCombo = iota
+	JobFailTaskOK
+	JobOKTaskFail
+	JobFailTaskFail
+)
+
+func (s StatusCombo) String() string {
+	switch s {
+	case JobOKTaskOK:
+		return "job finished / task done"
+	case JobFailTaskOK:
+		return "job failed / task done"
+	case JobOKTaskFail:
+		return "job finished / task failed"
+	case JobFailTaskFail:
+		return "job failed / task failed"
+	}
+	return "combo(?)"
+}
+
+func comboOf(j *records.JobRecord) StatusCombo {
+	jobOK := j.Status == records.JobFinished
+	taskOK := j.TaskStatus == records.TaskDone
+	switch {
+	case jobOK && taskOK:
+		return JobOKTaskOK
+	case !jobOK && taskOK:
+		return JobFailTaskOK
+	case jobOK && !taskOK:
+		return JobOKTaskFail
+	default:
+		return JobFailTaskFail
+	}
+}
+
+// DefaultThresholds are Fig. 9's x-axis percentages.
+var DefaultThresholds = []float64{1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 60, 75, 90}
+
+// ThresholdCurves is the Fig. 9 dataset: for each status combination, the
+// cumulative count of matched jobs whose transfer-time percentage is below
+// each threshold, plus the combination totals.
+type ThresholdCurves struct {
+	Thresholds []float64
+	// Counts[combo][i] = jobs of that combo with transfer-time % < Thresholds[i].
+	Counts [4][]int
+	Totals [4]int
+
+	// pcts retains every matched job's transfer-time percentage so
+	// AboveThreshold works for arbitrary cut-offs.
+	pcts []float64
+}
+
+// BuildThresholdCurves computes Fig. 9 from an exact-matching result.
+func BuildThresholdCurves(res *core.Result, thresholds []float64) *ThresholdCurves {
+	if len(thresholds) == 0 {
+		thresholds = DefaultThresholds
+	}
+	tc := &ThresholdCurves{Thresholds: thresholds}
+	for c := range tc.Counts {
+		tc.Counts[c] = make([]int, len(thresholds))
+	}
+	for _, m := range res.Matches {
+		combo := comboOf(m.Job)
+		pct := 100 * m.QueueTransferFraction()
+		tc.Totals[combo]++
+		tc.pcts = append(tc.pcts, pct)
+		for i, th := range thresholds {
+			if pct < th {
+				tc.Counts[combo][i]++
+			}
+		}
+	}
+	return tc
+}
+
+// AboveThreshold counts matched jobs (all combos) with transfer-time
+// percentage >= th — the paper's "72 jobs above 75 %" observation. Any
+// cut-off works, not just configured thresholds.
+func (tc *ThresholdCurves) AboveThreshold(th float64) int {
+	n := 0
+	for _, p := range tc.pcts {
+		if p >= th {
+			n++
+		}
+	}
+	return n
+}
+
+// SuccessCount is the number of matched jobs that finished (both combos
+// with a finished job).
+func (tc *ThresholdCurves) SuccessCount() int {
+	return tc.Totals[JobOKTaskOK] + tc.Totals[JobOKTaskFail]
+}
+
+// Table renders the Fig. 9 counts.
+func (tc *ThresholdCurves) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Fig. 9 — job counts below transfer-time percentage thresholds",
+		Columns: []string{"threshold"},
+	}
+	for c := 0; c < 4; c++ {
+		t.Columns = append(t.Columns, StatusCombo(c).String())
+	}
+	for i, th := range tc.Thresholds {
+		row := []string{fmt.Sprintf("< %.0f%%", th)}
+		for c := 0; c < 4; c++ {
+			row = append(row, fmt.Sprintf("%d", tc.Counts[c][i]))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"total"}
+	for c := 0; c < 4; c++ {
+		row = append(row, fmt.Sprintf("%d", tc.Totals[c]))
+	}
+	t.AddRow(row...)
+	return t
+}
+
+// Series converts one combo's curve into a report series.
+func (tc *ThresholdCurves) Series(combo StatusCombo) *report.Series {
+	s := &report.Series{Name: combo.String(), XLabel: "threshold %", YLabel: "jobs"}
+	for i, th := range tc.Thresholds {
+		s.Points = append(s.Points, report.Point{X: th, Y: float64(tc.Counts[combo][i])})
+	}
+	return s
+}

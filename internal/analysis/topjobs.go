@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"panrucio/internal/core"
+	"panrucio/internal/records"
+	"panrucio/internal/report"
+	"panrucio/internal/simtime"
+	"panrucio/internal/stats"
+)
+
+// TopJob is one bar of Fig. 5 / Fig. 6: a matched job with its
+// queuing-time breakdown and transferred volume.
+type TopJob struct {
+	PandaID       int64
+	JobStatus     records.JobStatus
+	TaskStatus    records.TaskStatus
+	QueueTime     simtime.VTime
+	TransferTime  simtime.VTime
+	TransferPct   float64
+	TransferBytes int64
+	NumTransfers  int
+}
+
+// StatusLabel renders the paper's "task/job" two-letter label ("D" done,
+// "F" failed), e.g. "D,F" for a failed job inside a successful task.
+func (j TopJob) StatusLabel() string {
+	l := func(ok bool) string {
+		if ok {
+			return "D"
+		}
+		return "F"
+	}
+	return l(j.TaskStatus == records.TaskDone) + "," + l(j.JobStatus == records.JobFinished)
+}
+
+// TopJobs extracts the Fig. 5 (class == AllLocal) or Fig. 6 (class ==
+// AllRemote) population: matched jobs of the given locality class whose
+// transfer time exceeds minFraction of their queuing time, ranked by
+// queuing time, truncated to k.
+func TopJobs(res *core.Result, class core.TransferClass, minFraction float64, k int) []TopJob {
+	var out []TopJob
+	for _, m := range res.Matches {
+		if m.Class() != class {
+			continue
+		}
+		frac := m.QueueTransferFraction()
+		if frac < minFraction {
+			continue
+		}
+		out = append(out, TopJob{
+			PandaID:       m.Job.PandaID,
+			JobStatus:     m.Job.Status,
+			TaskStatus:    m.Job.TaskStatus,
+			QueueTime:     m.Job.QueueTime(),
+			TransferTime:  m.QueueTransferTime(),
+			TransferPct:   100 * frac,
+			TransferBytes: m.TotalBytes(),
+			NumTransfers:  len(m.Transfers),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].QueueTime != out[j].QueueTime {
+			return out[i].QueueTime > out[j].QueueTime
+		}
+		return out[i].PandaID < out[j].PandaID
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// TopJobsTable renders the Fig. 5/6 data rows.
+func TopJobsTable(title string, jobs []TopJob) *report.Table {
+	t := &report.Table{
+		Title: title,
+		Columns: []string{"pandaid", "task,job", "queue time (s)", "transfer time (s)",
+			"transfer %", "transferred", "events"},
+	}
+	for _, j := range jobs {
+		t.AddRow(fmt.Sprintf("%d", j.PandaID), j.StatusLabel(),
+			fmt.Sprintf("%d", j.QueueTime), fmt.Sprintf("%d", j.TransferTime),
+			fmt.Sprintf("%.1f%%", j.TransferPct),
+			stats.FormatBytes(float64(j.TransferBytes)),
+			fmt.Sprintf("%d", j.NumTransfers))
+	}
+	return t
+}
+
+// FailedFraction reports the share of failed jobs in a top-jobs population
+// (the paper observes failures concentrate among extreme transfer-time
+// jobs).
+func FailedFraction(jobs []TopJob) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	failed := 0
+	for _, j := range jobs {
+		if j.JobStatus == records.JobFailed {
+			failed++
+		}
+	}
+	return float64(failed) / float64(len(jobs))
+}

@@ -1,0 +1,301 @@
+// Package coopt implements the co-optimization strategies the paper's
+// conclusion calls for: brokerage policies in which PanDA and Rucio share
+// performance awareness instead of optimizing independently. Section 3.1
+// frames the tension — "minimizing input data movement reduces network
+// traffic but can overload compute resources at a single site" — and
+// Section 5.3 shows that strict data locality is not always optimal.
+//
+// Three alternatives to panda.DataLocalityPolicy are provided, plus an A/B
+// experiment harness that runs identical workloads under each policy and
+// reports the end-to-end trade-off (queue time vs. remote data movement).
+package coopt
+
+import (
+	"fmt"
+	"sort"
+
+	"panrucio/internal/panda"
+	"panrucio/internal/records"
+	"panrucio/internal/report"
+	"panrucio/internal/sim"
+	"panrucio/internal/simtime"
+	"panrucio/internal/stats"
+	"panrucio/internal/topology"
+)
+
+// QueueAwarePolicy balances load first: it still prefers sites holding the
+// input, but walks away from a data site whose expected backlog wait
+// exceeds MaxWaitFactor times the estimated payload duration, picking the
+// least-loaded adequate site instead. This is "PanDA learns Rucio can move
+// the data" — it trades network traffic for queue time.
+type QueueAwarePolicy struct {
+	// MeanWallSeconds estimates payload duration for wait scoring
+	// (default 5400, the workload's log-normal median).
+	MeanWallSeconds float64
+	// MaxWaitFactor is the backlog-wait budget in payload units (default 0.5).
+	MaxWaitFactor float64
+}
+
+func (p QueueAwarePolicy) defaults() QueueAwarePolicy {
+	if p.MeanWallSeconds == 0 {
+		p.MeanWallSeconds = 5400
+	}
+	if p.MaxWaitFactor == 0 {
+		p.MaxWaitFactor = 0.5
+	}
+	return p
+}
+
+// Name implements panda.BrokerPolicy.
+func (QueueAwarePolicy) Name() string { return "queue-aware" }
+
+// expectedWait estimates the backlog drain time at a site in seconds.
+func expectedWait(s *panda.System, site string, meanWall float64) float64 {
+	slots := s.SiteSlots(site)
+	if slots <= 0 {
+		return 1e18
+	}
+	pending := float64(s.SiteBacklog(site))
+	return pending * meanWall / float64(slots)
+}
+
+// Choose implements panda.BrokerPolicy.
+func (p QueueAwarePolicy) Choose(j *panda.Job, s *panda.System, rng *simtime.RNG) string {
+	p = p.defaults()
+	// First preference: the best data site within the wait budget.
+	bestData, bestBytes := "", int64(0)
+	for _, site := range s.SiteNames() {
+		bytes := s.InputBytesAt(j, site)
+		if bytes > bestBytes && expectedWait(s, site, p.MeanWallSeconds) <= p.MaxWaitFactor*p.MeanWallSeconds {
+			bestData, bestBytes = site, bytes
+		}
+	}
+	if bestData != "" {
+		return bestData
+	}
+	// Every data site is congested: least expected wait wins, ties broken
+	// by capacity then name for determinism.
+	best, bestWait := "", 1e18
+	for _, site := range s.SiteNames() {
+		if s.SiteSlots(site) == 0 {
+			continue
+		}
+		w := expectedWait(s, site, p.MeanWallSeconds)
+		if w < bestWait || (w == bestWait && s.SiteSlots(site) > s.SiteSlots(best)) {
+			best, bestWait = site, w
+		}
+	}
+	if best == "" {
+		names := s.SiteNames()
+		return names[rng.Intn(len(names))]
+	}
+	return best
+}
+
+// JointPolicy is the shared-performance-awareness broker: for each
+// candidate site it estimates end-to-end readiness time as expected
+// backlog wait plus expected stage-in time (missing input bytes over the
+// site's nominal inbound rate), and picks the minimum. It models exactly
+// the information exchange the paper says PanDA and Rucio lack today.
+type JointPolicy struct {
+	// MeanWallSeconds estimates payload duration for wait scoring
+	// (default 5400).
+	MeanWallSeconds float64
+	// StreamBps is the per-transfer throughput estimate used for staging
+	// cost (default 250e6, just under the storage-door cap).
+	StreamBps float64
+}
+
+func (p JointPolicy) defaults() JointPolicy {
+	if p.MeanWallSeconds == 0 {
+		p.MeanWallSeconds = 5400
+	}
+	if p.StreamBps == 0 {
+		p.StreamBps = 250e6
+	}
+	return p
+}
+
+// Name implements panda.BrokerPolicy.
+func (JointPolicy) Name() string { return "joint" }
+
+// Choose implements panda.BrokerPolicy.
+func (p JointPolicy) Choose(j *panda.Job, s *panda.System, rng *simtime.RNG) string {
+	p = p.defaults()
+	var totalBytes int64
+	for _, f := range j.Inputs {
+		totalBytes += f.Size
+	}
+	best, bestCost := "", 1e18
+	for _, site := range s.SiteNames() {
+		if s.SiteSlots(site) == 0 {
+			continue
+		}
+		wait := expectedWait(s, site, p.MeanWallSeconds)
+		missing := totalBytes - s.InputBytesAt(j, site)
+		if missing < 0 {
+			missing = 0
+		}
+		// Effective staging rate: per-stream estimate bounded by the
+		// narrowest plausible WAN path into the site.
+		rate := p.StreamBps
+		if siteInfo, ok := s.Grid().Site(site); ok {
+			wan := siteInfo.WANGbps * 1e9 / 8
+			if wan < rate {
+				rate = wan
+			}
+		}
+		cost := wait + float64(missing)/rate
+		if cost < bestCost || (cost == bestCost && site < best) {
+			best, bestCost = site, cost
+		}
+	}
+	if best == "" {
+		names := s.SiteNames()
+		return names[rng.Intn(len(names))]
+	}
+	return best
+}
+
+// RandomPolicy is the naive baseline: CPU-weighted random placement with
+// no data awareness at all.
+type RandomPolicy struct{}
+
+// Name implements panda.BrokerPolicy.
+func (RandomPolicy) Name() string { return "random-cpu" }
+
+// Choose implements panda.BrokerPolicy.
+func (RandomPolicy) Choose(j *panda.Job, s *panda.System, rng *simtime.RNG) string {
+	names := s.SiteNames()
+	weights := make([]float64, len(names))
+	for i, n := range names {
+		weights[i] = float64(s.SiteSlots(n))
+	}
+	return names[rng.Choice(weights)]
+}
+
+// Outcome summarizes one policy's end-to-end behaviour over a run.
+type Outcome struct {
+	Policy string
+
+	Jobs        int
+	MeanQueueS  float64
+	P95QueueS   float64
+	FailureRate float64
+
+	// Download movement (job-correlated events only).
+	LocalBytes  int64
+	RemoteBytes int64
+}
+
+// RemoteFraction is remote download volume over total download volume.
+func (o Outcome) RemoteFraction() float64 {
+	total := o.LocalBytes + o.RemoteBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(o.RemoteBytes) / float64(total)
+}
+
+// ContentionConfig builds the policy-comparison scenario: the paper-scale
+// workload on a grid scaled down to a small fraction of its CPU, so data
+// hot spots saturate and brokerage choices matter. Corruption and
+// background traffic are disabled — the comparison measures scheduling,
+// not metadata quality.
+func ContentionConfig(seed int64, days int, cpuScale float64) sim.Config {
+	cfg := sim.PaperConfig(seed)
+	cfg.Days = days
+	cfg.CPUScale = cpuScale
+	cfg.Corruption.Disable = true
+	cfg.DisableBackground = true
+	return cfg
+}
+
+// Evaluate runs one policy over the scenario and collects its outcome.
+func Evaluate(cfg sim.Config, policy panda.BrokerPolicy) Outcome {
+	cfg.Panda.Broker = policy
+	res := sim.Run(cfg)
+	jobs := res.Store.Jobs(res.WindowFrom, res.WindowTo, "")
+	out := Outcome{Policy: policy.Name(), Jobs: len(jobs)}
+	var queues []float64
+	failed := 0
+	for _, j := range jobs {
+		queues = append(queues, j.QueueTime().Seconds())
+		if j.Status == records.JobFailed {
+			failed++
+		}
+	}
+	out.MeanQueueS = stats.Mean(queues)
+	out.P95QueueS = stats.Percentile(queues, 95)
+	if len(jobs) > 0 {
+		out.FailureRate = float64(failed) / float64(len(jobs))
+	}
+	for _, ev := range res.Store.Transfers(0, 0) {
+		if !ev.IsDownload || !ev.HasTaskID() {
+			continue
+		}
+		if ev.IsLocal() {
+			out.LocalBytes += ev.FileSize
+		} else {
+			out.RemoteBytes += ev.FileSize
+		}
+	}
+	return out
+}
+
+// Compare evaluates every policy on the identical scenario (same seed,
+// same workload arrivals) and returns outcomes in the given order.
+func Compare(cfg sim.Config, policies []panda.BrokerPolicy) []Outcome {
+	out := make([]Outcome, 0, len(policies))
+	for _, p := range policies {
+		out = append(out, Evaluate(cfg, p))
+	}
+	return out
+}
+
+// DefaultPolicies is the standard comparison set: the paper's production
+// heuristic, the two co-optimization candidates, and the naive baseline.
+func DefaultPolicies() []panda.BrokerPolicy {
+	return []panda.BrokerPolicy{
+		panda.DataLocalityPolicy{},
+		QueueAwarePolicy{},
+		JointPolicy{},
+		RandomPolicy{},
+	}
+}
+
+// Table renders the comparison.
+func Table(outcomes []Outcome) *report.Table {
+	t := &report.Table{
+		Title: "Brokerage policy comparison (co-optimization study)",
+		Columns: []string{"policy", "jobs", "mean queue", "p95 queue",
+			"failure rate", "remote volume", "remote fraction"},
+	}
+	for _, o := range outcomes {
+		t.AddRow(o.Policy,
+			fmt.Sprintf("%d", o.Jobs),
+			fmt.Sprintf("%.0fs", o.MeanQueueS),
+			fmt.Sprintf("%.0fs", o.P95QueueS),
+			fmt.Sprintf("%.1f%%", 100*o.FailureRate),
+			stats.FormatBytes(float64(o.RemoteBytes)),
+			fmt.Sprintf("%.1f%%", 100*o.RemoteFraction()))
+	}
+	return t
+}
+
+// Rank orders outcomes by mean queue time (best scheduling first); it does
+// not mutate the input.
+func Rank(outcomes []Outcome) []Outcome {
+	s := append([]Outcome(nil), outcomes...)
+	sort.Slice(s, func(i, j int) bool { return s[i].MeanQueueS < s[j].MeanQueueS })
+	return s
+}
+
+// Guard against accidental interface drift.
+var (
+	_ panda.BrokerPolicy = QueueAwarePolicy{}
+	_ panda.BrokerPolicy = JointPolicy{}
+	_ panda.BrokerPolicy = RandomPolicy{}
+	_ panda.BrokerPolicy = panda.DataLocalityPolicy{}
+	_                    = topology.Tier0 // documents the topology dependency of JointPolicy
+)

@@ -1,0 +1,138 @@
+package coopt
+
+import (
+	"strings"
+	"testing"
+
+	"panrucio/internal/panda"
+	"panrucio/internal/sim"
+	"panrucio/internal/workload"
+)
+
+// contended returns a small, heavily contended scenario for fast tests.
+func contended(seed int64) sim.Config {
+	cfg := ContentionConfig(seed, 2, 0.01)
+	cfg.Workload = workload.Config{
+		InitialDatasets:  80,
+		UserTaskInterval: 300,
+		ProdTaskInterval: 1200,
+		UserJobsMean:     12,
+		ProdJobsMean:     20,
+	}
+	return cfg
+}
+
+func TestContentionConfigShape(t *testing.T) {
+	cfg := ContentionConfig(3, 4, 0.02)
+	if !cfg.Corruption.Disable || !cfg.DisableBackground {
+		t.Error("contention scenario must disable corruption and background")
+	}
+	if cfg.CPUScale != 0.02 || cfg.Days != 4 || cfg.Seed != 3 {
+		t.Errorf("config = %+v", cfg)
+	}
+}
+
+func TestPolicyNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range DefaultPolicies() {
+		if p.Name() == "" || seen[p.Name()] {
+			t.Fatalf("duplicate/empty policy name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("expected 4 policies, got %d", len(seen))
+	}
+}
+
+func TestEvaluateProducesOutcome(t *testing.T) {
+	o := Evaluate(contended(1), panda.DataLocalityPolicy{})
+	if o.Policy != "data-locality" {
+		t.Errorf("policy label %q", o.Policy)
+	}
+	if o.Jobs == 0 {
+		t.Fatal("no jobs completed")
+	}
+	if o.MeanQueueS <= 0 || o.P95QueueS < o.MeanQueueS {
+		t.Errorf("queue stats implausible: mean=%.0f p95=%.0f", o.MeanQueueS, o.P95QueueS)
+	}
+	if o.LocalBytes == 0 {
+		t.Error("no local download volume under data locality")
+	}
+}
+
+func TestTradeoffShape(t *testing.T) {
+	// The paper's Section 3.1 tension, reproduced: under contention the
+	// data-locality policy minimizes remote movement; the queue-aware and
+	// joint policies shift work away from hot data sites, moving more
+	// bytes; the random baseline moves the most.
+	cfg := contended(2)
+	outcomes := Compare(cfg, DefaultPolicies())
+	byName := map[string]Outcome{}
+	for _, o := range outcomes {
+		byName[o.Policy] = o
+	}
+	dl := byName["data-locality"]
+	qa := byName["queue-aware"]
+	jt := byName["joint"]
+	rnd := byName["random-cpu"]
+
+	if dl.RemoteFraction() > qa.RemoteFraction() {
+		t.Errorf("data locality (%.2f) should move less remote data than queue-aware (%.2f)",
+			dl.RemoteFraction(), qa.RemoteFraction())
+	}
+	if dl.RemoteFraction() > rnd.RemoteFraction() {
+		t.Errorf("data locality (%.2f) should move less remote data than random (%.2f)",
+			dl.RemoteFraction(), rnd.RemoteFraction())
+	}
+	// Load-aware policies must beat strict locality on queue time under
+	// contention (the paper's "assigning jobs to remote sites may result
+	// in shorter overall queuing times").
+	if qa.MeanQueueS >= dl.MeanQueueS {
+		t.Errorf("queue-aware mean queue %.0fs should beat data locality %.0fs under contention",
+			qa.MeanQueueS, dl.MeanQueueS)
+	}
+	if jt.MeanQueueS >= dl.MeanQueueS {
+		t.Errorf("joint mean queue %.0fs should beat data locality %.0fs under contention",
+			jt.MeanQueueS, dl.MeanQueueS)
+	}
+}
+
+func TestRankOrdersByQueue(t *testing.T) {
+	in := []Outcome{{Policy: "a", MeanQueueS: 30}, {Policy: "b", MeanQueueS: 10}, {Policy: "c", MeanQueueS: 20}}
+	got := Rank(in)
+	if got[0].Policy != "b" || got[1].Policy != "c" || got[2].Policy != "a" {
+		t.Errorf("rank order = %v", got)
+	}
+	if in[0].Policy != "a" {
+		t.Error("Rank mutated its input")
+	}
+}
+
+func TestOutcomeRemoteFraction(t *testing.T) {
+	o := Outcome{LocalBytes: 75, RemoteBytes: 25}
+	if o.RemoteFraction() != 0.25 {
+		t.Errorf("fraction = %g", o.RemoteFraction())
+	}
+	if (Outcome{}).RemoteFraction() != 0 {
+		t.Error("zero-volume fraction should be 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	out := Table([]Outcome{{Policy: "x", Jobs: 5, MeanQueueS: 10, P95QueueS: 20, FailureRate: 0.5, RemoteBytes: 1e9}})
+	s := out.Render()
+	for _, needle := range []string{"policy", "x", "50.0%", "1.00 GB"} {
+		if !strings.Contains(s, needle) {
+			t.Errorf("table missing %q:\n%s", needle, s)
+		}
+	}
+}
+
+func TestDeterministicComparison(t *testing.T) {
+	a := Evaluate(contended(5), QueueAwarePolicy{})
+	b := Evaluate(contended(5), QueueAwarePolicy{})
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"panrucio/internal/records"
+)
+
+// RunParallel is Run with the per-job matching fanned out across workers —
+// the parallelization the paper's limitations section singles out as the
+// path to full-scale analysis ("any future systematic and scalable
+// analysis designs, such as parallelization, will be especially
+// valuable"). The metastore is read-only during matching, so sharding by
+// job is safe; results are merged deterministically (matches ordered by
+// pandaid), making the output identical to Run's up to match order.
+//
+// workers <= 0 selects GOMAXPROCS.
+func (m *Matcher) RunParallel(jobs []*records.JobRecord, method Method, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		return m.Run(jobs, method)
+	}
+
+	partial := make([][]Match, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out []Match
+			for i := w; i < len(jobs); i += workers {
+				j := jobs[i]
+				if evs := m.MatchJob(j, method); len(evs) > 0 {
+					out = append(out, Match{Job: j, Transfers: evs})
+				}
+			}
+			partial[w] = out
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{
+		Method:              method,
+		TotalJobs:           len(jobs),
+		TotalTransfers:      m.store.TransferCount(),
+		TransfersWithTaskID: m.store.TransfersWithTaskID(),
+	}
+	for _, p := range partial {
+		res.Matches = append(res.Matches, p...)
+	}
+	sort.Slice(res.Matches, func(a, b int) bool {
+		return res.Matches[a].Job.PandaID < res.Matches[b].Job.PandaID
+	})
+
+	seen := make(map[int64]bool)
+	for i := range res.Matches {
+		match := &res.Matches[i]
+		res.MatchedJobs++
+		for _, ev := range match.Transfers {
+			if !seen[ev.EventID] {
+				seen[ev.EventID] = true
+				res.MatchedTransfers++
+				if ev.IsLocal() {
+					res.LocalTransfers++
+				} else {
+					res.RemoteTransfers++
+				}
+			}
+		}
+		switch match.Class() {
+		case AllLocal:
+			res.JobsAllLocal++
+		case AllRemote:
+			res.JobsAllRemote++
+		default:
+			res.JobsMixed++
+		}
+	}
+	return res
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"panrucio/internal/metastore"
+	"panrucio/internal/records"
+	"panrucio/internal/simtime"
+	"panrucio/internal/topology"
+)
+
+// perturbation flags drawn by the property generator for each transfer.
+type perturbation struct {
+	SizeJitter   bool
+	UnknownDest  bool
+	WrongDataset bool
+	LateStart    bool // transfer begins after job end
+	Missing      bool // event never recorded
+}
+
+// buildRandomScenario fabricates one job with len(perturbs) input files and
+// one (possibly perturbed) transfer event per file.
+func buildRandomScenario(perturbs []perturbation) (*metastore.Store, *records.JobRecord) {
+	store := metastore.New()
+	const (
+		jedi  = int64(42_000_077)
+		panda = int64(6_590_000_001)
+		site  = "BNL-ATLAS"
+	)
+	job := &records.JobRecord{
+		PandaID: panda, JediTaskID: jedi, ComputingSite: site,
+		Label:        records.LabelUser,
+		CreationTime: 1_000, StartTime: 5_000, EndTime: 20_000,
+		Status: records.JobFinished, TaskStatus: records.TaskDone,
+	}
+	var inBytes int64
+	for i, p := range perturbs {
+		size := int64(1e9 + int64(i)*1e8)
+		inBytes += size
+		lfn := fmt.Sprintf("f%03d", i)
+		store.PutFile(&records.FileRecord{
+			PandaID: panda, JediTaskID: jedi, LFN: lfn, Scope: "s",
+			Dataset: "ds", ProdDBlock: "ds", FileSize: size, Kind: records.FileInput,
+		})
+		if p.Missing {
+			continue
+		}
+		ev := &records.TransferEvent{
+			EventID: int64(1000 + i), LFN: lfn, Scope: "s",
+			Dataset: "ds", ProdDBlock: "ds", FileSize: size,
+			SourceSite: site, DestinationSite: site,
+			Activity: records.AnalysisDownload, IsDownload: true,
+			JediTaskID: jedi, StartedAt: 1_500 + simtime.VTime(i)*100,
+			EndedAt: 1_600 + simtime.VTime(i)*100,
+		}
+		if p.SizeJitter {
+			ev.FileSize += 7
+		}
+		if p.UnknownDest {
+			ev.DestinationSite = topology.UnknownSite
+		}
+		if p.WrongDataset {
+			ev.Dataset = "ds_tid00000042"
+		}
+		if p.LateStart {
+			ev.StartedAt = 25_000
+			ev.EndedAt = 25_100
+		}
+		store.PutTransfer(ev)
+	}
+	job.NInputFileBytes = inBytes
+	store.PutJob(job)
+	return store, job
+}
+
+// TestMatcherMonotonicityProperty: for arbitrary perturbation vectors,
+// Exact ⊆ RM1 ⊆ RM2 per job, and every matched transfer satisfies the
+// never-relaxed conditions (join attributes, start-before-end).
+func TestMatcherMonotonicityProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		perturbs := make([]perturbation, len(raw))
+		for i, b := range raw {
+			perturbs[i] = perturbation{
+				SizeJitter:   b&1 != 0,
+				UnknownDest:  b&2 != 0,
+				WrongDataset: b&4 != 0,
+				LateStart:    b&8 != 0,
+				Missing:      b&16 != 0,
+			}
+		}
+		store, job := buildRandomScenario(perturbs)
+		m := NewMatcher(store)
+		exact := m.MatchJob(job, Exact)
+		rm1 := m.MatchJob(job, RM1)
+		rm2 := m.MatchJob(job, RM2)
+
+		inSet := func(evs []*records.TransferEvent, id int64) bool {
+			for _, ev := range evs {
+				if ev.EventID == id {
+					return true
+				}
+			}
+			return false
+		}
+		for _, ev := range exact {
+			if !inSet(rm1, ev.EventID) {
+				return false
+			}
+		}
+		for _, ev := range rm1 {
+			if !inSet(rm2, ev.EventID) {
+				return false
+			}
+		}
+		// Universal conditions on every matched transfer.
+		for _, set := range [][]*records.TransferEvent{exact, rm1, rm2} {
+			for _, ev := range set {
+				if ev.StartedAt >= job.EndTime {
+					return false // time condition never relaxed
+				}
+				if ev.Dataset != "ds" {
+					return false // join breakage never matchable
+				}
+			}
+		}
+		// Exact-only conditions.
+		if len(exact) > 0 {
+			var sum int64
+			for _, ev := range exact {
+				sum += ev.FileSize
+				if ev.DestinationSite != job.ComputingSite {
+					return false
+				}
+			}
+			if sum != job.NInputFileBytes && sum != job.NOutputFileBytes {
+				return false
+			}
+		}
+		// RM1 site condition.
+		for _, ev := range rm1 {
+			if ev.DestinationSite != job.ComputingSite {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCleanScenarioAlwaysExactMatches: with no perturbations at all, the
+// exact method must link every file's transfer.
+func TestCleanScenarioAlwaysExactMatches(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		store, job := buildRandomScenario(make([]perturbation, n))
+		got := NewMatcher(store).MatchJob(job, Exact)
+		if len(got) != n {
+			t.Fatalf("clean %d-file scenario matched %d transfers", n, len(got))
+		}
+	}
+}
+
+// TestUnknownOnlyScenarioIsRM2Exclusive: when every event lost its
+// destination, RM2 is the only method that links the job — the paper's
+// central RM2 motivation.
+func TestUnknownOnlyScenarioIsRM2Exclusive(t *testing.T) {
+	perturbs := make([]perturbation, 4)
+	for i := range perturbs {
+		perturbs[i].UnknownDest = true
+	}
+	store, job := buildRandomScenario(perturbs)
+	m := NewMatcher(store)
+	if m.MatchJob(job, Exact) != nil || m.MatchJob(job, RM1) != nil {
+		t.Fatal("unknown-destination events matched by a strict method")
+	}
+	if got := m.MatchJob(job, RM2); len(got) != 4 {
+		t.Fatalf("RM2 matched %d, want 4", len(got))
+	}
+}
+
+// TestJitterOnlyScenarioIsRM1Exclusive: byte-imprecise sizes are exactly
+// the RM1 case.
+func TestJitterOnlyScenarioIsRM1Exclusive(t *testing.T) {
+	perturbs := make([]perturbation, 3)
+	for i := range perturbs {
+		perturbs[i].SizeJitter = true
+	}
+	store, job := buildRandomScenario(perturbs)
+	m := NewMatcher(store)
+	if m.MatchJob(job, Exact) != nil {
+		t.Fatal("jittered sizes exact-matched")
+	}
+	if got := m.MatchJob(job, RM1); len(got) != 3 {
+		t.Fatalf("RM1 matched %d, want 3", len(got))
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"panrucio/internal/records"
+	"panrucio/internal/sim"
+	"panrucio/internal/topology"
+)
+
+func TestRepairStoreFixesKnownCase(t *testing.T) {
+	grid := topology.Default(topology.DefaultSpec{})
+	s := newScenario()
+	// Both downloads lose their destination (the Fig. 12/Table 3 pattern).
+	ev0 := s.download(0, 3e9, 1100, 1200)
+	ev0.DestinationSite = topology.UnknownSite
+	ev1 := s.download(1, 4e9, 1200, 1400)
+	ev1.DestinationSite = topology.UnknownSite
+	s.store.PutTransfer(ev0)
+	s.store.PutTransfer(ev1)
+
+	jobs := s.store.Jobs(0, 1<<62, records.LabelUser)
+	m := NewMatcher(s.store)
+	if got := m.Run(jobs, Exact); got.MatchedJobs != 0 {
+		t.Fatal("scenario should not exact-match before repair")
+	}
+	rm2 := m.Run(jobs, RM2)
+	repaired, st := RepairStore(s.store, grid, rm2)
+	if st.LabelsRepaired != 2 || st.BySiteCondition != 2 {
+		t.Fatalf("repair stats = %+v", st)
+	}
+	// The original store is untouched.
+	if ev0.DestinationSite != topology.UnknownSite {
+		t.Fatal("RepairStore mutated the original event")
+	}
+	// After repair the job exact-matches.
+	after := NewMatcher(repaired).Run(jobs, Exact)
+	if after.MatchedJobs != 1 || after.MatchedTransfers != 2 {
+		t.Fatalf("post-repair exact: jobs=%d transfers=%d", after.MatchedJobs, after.MatchedTransfers)
+	}
+	for _, ev := range repaired.Transfers(0, 0) {
+		if ev.DestinationSite != sSite {
+			t.Errorf("repaired label = %q", ev.DestinationSite)
+		}
+	}
+}
+
+func TestMeasureUpliftOnSimulatedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run skipped in -short mode")
+	}
+	res := sim.Run(sim.PaperConfig(1))
+	jobs := res.Store.Jobs(res.WindowFrom, res.WindowTo, records.LabelUser)
+	up, st := MeasureUplift(res.Store, res.Grid, jobs, Exact)
+	if st.LabelsRepaired == 0 {
+		t.Fatal("no labels repaired on the default run")
+	}
+	if up.JobGain <= 0 {
+		t.Errorf("repair produced no exact-match job gain: %+v", up)
+	}
+	if up.TransferGain <= 0 {
+		t.Errorf("repair produced no exact-match transfer gain: %+v", up)
+	}
+	if up.After.MatchedJobs != up.Before.MatchedJobs+up.JobGain {
+		t.Error("gain accounting inconsistent")
+	}
+	t.Logf("repair uplift: +%d jobs, +%d transfers from %d repaired labels (%d duplicate-evidence)",
+		up.JobGain, up.TransferGain, st.LabelsRepaired, st.ByDuplicate)
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	res := sim.Run(sim.QuickConfig(31))
+	jobs := res.Store.Jobs(res.WindowFrom, res.WindowTo, records.LabelUser)
+	m := NewMatcher(res.Store)
+	for _, method := range []Method{Exact, RM1, RM2} {
+		serial := m.Run(jobs, method)
+		for _, workers := range []int{0, 1, 2, 7} {
+			par := m.RunParallel(jobs, method, workers)
+			if par.MatchedJobs != serial.MatchedJobs ||
+				par.MatchedTransfers != serial.MatchedTransfers ||
+				par.LocalTransfers != serial.LocalTransfers ||
+				par.RemoteTransfers != serial.RemoteTransfers ||
+				par.JobsAllLocal != serial.JobsAllLocal ||
+				par.JobsAllRemote != serial.JobsAllRemote ||
+				par.JobsMixed != serial.JobsMixed {
+				t.Fatalf("%v workers=%d diverged from serial: %+v vs %+v",
+					method, workers, par, serial)
+			}
+			// Deterministic match ordering by pandaid.
+			for i := 1; i < len(par.Matches); i++ {
+				if par.Matches[i-1].Job.PandaID >= par.Matches[i].Job.PandaID {
+					t.Fatal("parallel matches not sorted by pandaid")
+				}
+			}
+		}
+	}
+}
+
+func TestRunParallelEmptyJobs(t *testing.T) {
+	res := sim.Run(sim.QuickConfig(32))
+	m := NewMatcher(res.Store)
+	got := m.RunParallel(nil, Exact, 4)
+	if got.MatchedJobs != 0 || got.TotalJobs != 0 {
+		t.Errorf("empty job set: %+v", got)
+	}
+}

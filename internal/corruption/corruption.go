@@ -1,0 +1,220 @@
+// Package corruption degrades transfer-event metadata on its way into the
+// metastore, reproducing the data-quality pathologies the paper reports
+// (Section 1, challenge 3; Section 5.4, Table 3): missing or invalid site
+// labels, imprecisely recorded file sizes, lost jeditaskids, naming
+// mismatches that break the metadata join, and dropped records. The
+// corruption rates are the knobs that place the exact / RM1 / RM2 match
+// fractions in the paper's bands.
+//
+// Two of the channels are deliberately *correlated* rather than per-event,
+// because that is how the production pathologies behave:
+//
+//   - Join breakage is per dataset: when a dataset's JEDI name and its
+//     Rucio name follow different conventions (the "_tid" block suffix),
+//     every transfer event of that dataset fails the join — under every
+//     matching method. This is the dominant reason the paper links only
+//     ~2 % of task-carrying transfers.
+//   - UNKNOWN-endpoint loss is per pilot batch: all files fetched by one
+//     pilot session lose their endpoint label together (Table 3 shows all
+//     three transfers of the set with destination UNKNOWN). This is what
+//     makes RM2 recover whole jobs rather than stray events.
+package corruption
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"panrucio/internal/records"
+	"panrucio/internal/simtime"
+	"panrucio/internal/topology"
+)
+
+// Config sets corruption probabilities. Zero values take the calibrated
+// defaults (see DESIGN.md shape targets).
+type Config struct {
+	// Disable turns every channel off — events pass through untouched.
+	// Ablation studies use this to measure the matching framework against
+	// clean metadata.
+	Disable bool
+	// DropTransferProb loses the event entirely (per event, default 0.01).
+	DropTransferProb float64
+	// DropTaskIDProb clears jeditaskid on a job-correlated event (per
+	// event, default 0.02).
+	DropTaskIDProb float64
+	// JoinBreakProb rewrites the dataset name recorded on job-correlated
+	// download events of an afflicted dataset with a production "_tid"
+	// suffix (per dataset, default 0.92). Uploads are immune: they
+	// reference the job's own freshly created output dataset, so the names
+	// agree — which is why the paper's Analysis Upload row matches at ~95 %.
+	JoinBreakProb float64
+	// UnknownSiteProb replaces the source or destination site with UNKNOWN
+	// on background (no-taskid) events (per event, default 0.02) — keeps
+	// Fig. 3's UNKNOWN row/column modest, as in the paper.
+	UnknownSiteProb float64
+	// UnknownSiteProbTaskID is the (much higher) UNKNOWN rate for
+	// job-correlated *download* events, applied per pilot batch (default
+	// 0.40) — the Table 3 pathology RM2 recovers from. Uploads are exempt:
+	// the pilot registers them synchronously with its own site identity,
+	// which is why the paper's "relatively straightforward" Analysis Upload
+	// scheme matches at ~95 %.
+	UnknownSiteProbTaskID float64
+	// GarbleSiteProb replaces a site label with an invalid string (per
+	// event, default 0.015).
+	GarbleSiteProb float64
+	// SizeJitterProb records the file size imprecisely (per event, default
+	// 0.015); the error is uniform in ±SizeJitterMax bytes, never zero.
+	SizeJitterProb float64
+	// SizeJitterMax bounds the recorded-size error (default 4096 bytes).
+	SizeJitterMax int64
+}
+
+func (c *Config) fill() {
+	def := func(p *float64, v float64) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&c.DropTransferProb, 0.01)
+	def(&c.DropTaskIDProb, 0.02)
+	def(&c.JoinBreakProb, 0.92)
+	def(&c.UnknownSiteProb, 0.02)
+	def(&c.UnknownSiteProbTaskID, 0.40)
+	def(&c.GarbleSiteProb, 0.015)
+	def(&c.SizeJitterProb, 0.015)
+	if c.SizeJitterMax == 0 {
+		c.SizeJitterMax = 4096
+	}
+}
+
+// Stats tallies what the corruptor did, for reporting in EXPERIMENTS.md.
+type Stats struct {
+	Seen         int64
+	Dropped      int64
+	TaskIDLost   int64
+	JoinBroken   int64
+	SiteUnknowns int64
+	SiteGarbled  int64
+	SizeJittered int64
+}
+
+// Corruptor mutates transfer events in place. Use one per simulation with a
+// dedicated RNG split.
+type Corruptor struct {
+	cfg  Config
+	rng  *simtime.RNG
+	salt uint64
+	// Stats is exported for post-run inspection.
+	Stats Stats
+}
+
+// New builds a corruptor with the given config (zero fields defaulted).
+func New(rng *simtime.RNG, cfg Config) *Corruptor {
+	cfg.fill()
+	salt := uint64(rng.Int63n(1 << 62))
+	return &Corruptor{cfg: cfg, rng: rng, salt: salt}
+}
+
+// Config reports the effective configuration.
+func (c *Corruptor) Config() Config { return c.cfg }
+
+// hashBool makes a deterministic, seed-dependent draw keyed by a string:
+// identical keys always decide alike within one corruptor.
+func (c *Corruptor) hashBool(key string, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", c.salt, key)
+	return float64(h.Sum64()%1_000_000)/1_000_000 < p
+}
+
+// batchKey identifies a pilot fetch session: one task staging to one site
+// via one activity within one hour shares a metadata path, so endpoint
+// loss hits the whole batch together.
+func batchKey(ev *records.TransferEvent) string {
+	return fmt.Sprintf("batch/%d/%s/%s/%s/%d",
+		ev.JediTaskID, ev.SourceSite, ev.DestinationSite, ev.Activity,
+		ev.SubmittedAt/simtime.Hour)
+}
+
+// Transfer applies corruption to one event. It returns false when the event
+// is dropped (caller must not ingest it). The original event is mutated.
+func (c *Corruptor) Transfer(ev *records.TransferEvent) bool {
+	c.Stats.Seen++
+	if c.cfg.Disable {
+		return true
+	}
+	if c.rng.Bool(c.cfg.DropTransferProb) {
+		c.Stats.Dropped++
+		return false
+	}
+	jobCorrelated := ev.JediTaskID != 0
+
+	// Per-dataset join breakage (downloads only; see Config docs).
+	if jobCorrelated && ev.IsDownload && c.hashBool("join/"+ev.Dataset, c.cfg.JoinBreakProb) {
+		ev.Dataset = ev.Dataset + "_tid" + fmt.Sprintf("%08d", fnvMod(ev.Dataset, 1e8))
+		c.Stats.JoinBroken++
+	}
+
+	// Endpoint loss: per pilot batch for job-correlated downloads, per
+	// event for everything else (uploads, background traffic).
+	lost := false
+	if jobCorrelated && ev.IsDownload {
+		lost = c.hashBool(batchKey(ev), c.cfg.UnknownSiteProbTaskID)
+	} else {
+		lost = c.rng.Bool(c.cfg.UnknownSiteProb)
+	}
+	if lost {
+		// Downloads lose their destination label and uploads their source
+		// (both are the job's computing site — the Table 3 pattern);
+		// background events lose either side.
+		switch {
+		case jobCorrelated && ev.IsUpload:
+			ev.SourceSite = topology.UnknownSite
+		case jobCorrelated:
+			ev.DestinationSite = topology.UnknownSite
+		case c.rng.Bool(0.5):
+			ev.SourceSite = topology.UnknownSite
+		default:
+			ev.DestinationSite = topology.UnknownSite
+		}
+		c.Stats.SiteUnknowns++
+	}
+
+	if c.rng.Bool(c.cfg.GarbleSiteProb) {
+		if c.rng.Bool(0.5) {
+			ev.SourceSite = "gsiftp://invalid/" + ev.SourceSite
+		} else {
+			ev.DestinationSite = "gsiftp://invalid/" + ev.DestinationSite
+		}
+		c.Stats.SiteGarbled++
+	}
+
+	if jobCorrelated && c.rng.Bool(c.cfg.DropTaskIDProb) {
+		ev.JediTaskID = 0
+		c.Stats.TaskIDLost++
+	}
+
+	if c.rng.Bool(c.cfg.SizeJitterProb) {
+		delta := c.rng.Int63n(2*c.cfg.SizeJitterMax) - c.cfg.SizeJitterMax
+		if delta == 0 {
+			delta = 1
+		}
+		ev.FileSize += delta
+		if ev.FileSize < 1 {
+			ev.FileSize = 1
+		}
+		c.Stats.SizeJittered++
+	}
+	return true
+}
+
+// fnvMod hashes a string into [0, mod).
+func fnvMod(s string, mod float64) int {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return int(h.Sum64() % uint64(mod))
+}

@@ -1,0 +1,268 @@
+package corruption
+
+import (
+	"strings"
+	"testing"
+
+	"panrucio/internal/records"
+	"panrucio/internal/simtime"
+	"panrucio/internal/topology"
+)
+
+func event() *records.TransferEvent {
+	return &records.TransferEvent{
+		LFN: "f", Dataset: "data25.ds", SourceSite: "A", DestinationSite: "B",
+		FileSize: 1_000_000, JediTaskID: 42, IsDownload: true,
+	}
+}
+
+// off disables every channel except those the caller re-enables.
+func off() Config {
+	return Config{
+		DropTransferProb: 1e-12, DropTaskIDProb: 1e-12, JoinBreakProb: 1e-12,
+		UnknownSiteProb: 1e-12, UnknownSiteProbTaskID: 1e-12,
+		GarbleSiteProb: 1e-12, SizeJitterProb: 1e-12,
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	cfg := off()
+	cfg.DropTransferProb = 0.999999
+	c := New(simtime.NewRNG(1), cfg)
+	kept := 0
+	for i := 0; i < 100; i++ {
+		if c.Transfer(event()) {
+			kept++
+		}
+	}
+	if kept != 0 {
+		t.Errorf("kept %d events with drop prob ~1", kept)
+	}
+	if c.Stats.Seen != 100 || c.Stats.Dropped != 100 {
+		t.Errorf("stats %+v", c.Stats)
+	}
+}
+
+func TestTaskIDLoss(t *testing.T) {
+	cfg := off()
+	cfg.DropTaskIDProb = 0.999999
+	c := New(simtime.NewRNG(2), cfg)
+	ev := event()
+	if !c.Transfer(ev) {
+		t.Fatal("event dropped")
+	}
+	if ev.JediTaskID != 0 {
+		t.Error("jeditaskid survived p~1 loss")
+	}
+	// Events without a task id are unaffected.
+	ev2 := event()
+	ev2.JediTaskID = 0
+	c.Transfer(ev2)
+	if c.Stats.TaskIDLost != 1 {
+		t.Errorf("TaskIDLost = %d, want 1", c.Stats.TaskIDLost)
+	}
+}
+
+func TestUnknownSiteJobCorrelatedSides(t *testing.T) {
+	cfg := off()
+	cfg.UnknownSiteProbTaskID = 0.999999
+	c := New(simtime.NewRNG(3), cfg)
+	// Download: the destination (computing site) label is lost.
+	down := event()
+	c.Transfer(down)
+	if down.DestinationSite != topology.UnknownSite || down.SourceSite != "A" {
+		t.Errorf("download sides: %s -> %s", down.SourceSite, down.DestinationSite)
+	}
+	// Uploads are exempt from the per-batch channel...
+	up := event()
+	up.IsDownload, up.IsUpload = false, true
+	c.Transfer(up)
+	if up.SourceSite != "A" || up.DestinationSite != "B" {
+		t.Errorf("upload corrupted by batch channel: %s -> %s", up.SourceSite, up.DestinationSite)
+	}
+	// ...but lose their source through the per-event channel.
+	cfg2 := off()
+	cfg2.UnknownSiteProb = 0.999999
+	c2 := New(simtime.NewRNG(3), cfg2)
+	up2 := event()
+	up2.IsDownload, up2.IsUpload = false, true
+	c2.Transfer(up2)
+	if up2.SourceSite != topology.UnknownSite || up2.DestinationSite != "B" {
+		t.Errorf("upload sides: %s -> %s", up2.SourceSite, up2.DestinationSite)
+	}
+}
+
+func TestUnknownSiteBatchCorrelated(t *testing.T) {
+	cfg := off()
+	cfg.UnknownSiteProbTaskID = 0.5
+	c := New(simtime.NewRNG(4), cfg)
+	// Same batch (task, route, activity, hour): all events decide alike.
+	perBatch := map[int64]int{}
+	for task := int64(1); task <= 60; task++ {
+		unknowns := 0
+		for i := 0; i < 5; i++ {
+			ev := event()
+			ev.JediTaskID = task
+			c.Transfer(ev)
+			if ev.DestinationSite == topology.UnknownSite {
+				unknowns++
+			}
+		}
+		if unknowns != 0 && unknowns != 5 {
+			t.Fatalf("task %d batch split: %d/5 unknown", task, unknowns)
+		}
+		perBatch[task] = unknowns
+	}
+	hit := 0
+	for _, u := range perBatch {
+		if u == 5 {
+			hit++
+		}
+	}
+	if hit < 15 || hit > 45 {
+		t.Errorf("batch hit rate %d/60 far from p=0.5", hit)
+	}
+}
+
+func TestUnknownSiteBackgroundPerEvent(t *testing.T) {
+	cfg := off()
+	cfg.UnknownSiteProb = 0.999999
+	c := New(simtime.NewRNG(5), cfg)
+	src, dst := 0, 0
+	for i := 0; i < 200; i++ {
+		ev := event()
+		ev.JediTaskID = 0
+		c.Transfer(ev)
+		switch {
+		case ev.SourceSite == topology.UnknownSite:
+			src++
+		case ev.DestinationSite == topology.UnknownSite:
+			dst++
+		default:
+			t.Fatal("background event escaped p~1 unknown corruption")
+		}
+	}
+	if src == 0 || dst == 0 {
+		t.Errorf("background unknown one-sided: src=%d dst=%d", src, dst)
+	}
+}
+
+func TestJoinBreakPerDataset(t *testing.T) {
+	cfg := off()
+	cfg.JoinBreakProb = 0.5
+	c := New(simtime.NewRNG(6), cfg)
+	broken := 0
+	for d := 0; d < 80; d++ {
+		name := "data25.ds" + string(rune('A'+d%26)) + string(rune('0'+d/26))
+		state := 0 // 0 unknown, 1 all broken, 2 all intact
+		for i := 0; i < 4; i++ {
+			ev := event()
+			ev.Dataset = name
+			c.Transfer(ev)
+			isBroken := strings.Contains(ev.Dataset, "_tid")
+			switch {
+			case state == 0 && isBroken:
+				state = 1
+			case state == 0:
+				state = 2
+			case state == 1 && !isBroken, state == 2 && isBroken:
+				t.Fatalf("dataset %s split decision", name)
+			}
+		}
+		if state == 1 {
+			broken++
+		}
+	}
+	if broken < 20 || broken > 60 {
+		t.Errorf("dataset break rate %d/80 far from p=0.5", broken)
+	}
+	// Uploads are immune.
+	up := event()
+	up.IsDownload, up.IsUpload = false, true
+	cfg.JoinBreakProb = 0.999999
+	c2 := New(simtime.NewRNG(7), cfg)
+	c2.Transfer(up)
+	if strings.Contains(up.Dataset, "_tid") {
+		t.Error("upload dataset was join-broken")
+	}
+	// Background events are immune.
+	bg := event()
+	bg.JediTaskID = 0
+	c2.Transfer(bg)
+	if strings.Contains(bg.Dataset, "_tid") {
+		t.Error("background dataset was join-broken")
+	}
+}
+
+func TestGarbleSiteLooksInvalid(t *testing.T) {
+	cfg := off()
+	cfg.GarbleSiteProb = 0.999999
+	c := New(simtime.NewRNG(8), cfg)
+	ev := event()
+	c.Transfer(ev)
+	if !strings.Contains(ev.SourceSite+ev.DestinationSite, "invalid") {
+		t.Errorf("no garbled site: %s -> %s", ev.SourceSite, ev.DestinationSite)
+	}
+}
+
+func TestSizeJitterNonZeroBounded(t *testing.T) {
+	cfg := off()
+	cfg.SizeJitterProb = 0.999999
+	cfg.SizeJitterMax = 100
+	c := New(simtime.NewRNG(9), cfg)
+	for i := 0; i < 200; i++ {
+		ev := event()
+		orig := ev.FileSize
+		c.Transfer(ev)
+		d := ev.FileSize - orig
+		if d == 0 {
+			t.Fatal("jitter produced zero delta")
+		}
+		if d < -100 || d > 100 {
+			t.Fatalf("jitter %d out of bounds", d)
+		}
+	}
+	ev := event()
+	ev.FileSize = 1
+	c.Transfer(ev)
+	if ev.FileSize < 1 {
+		t.Error("size fell below 1")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := New(simtime.NewRNG(10), Config{})
+	cfg := c.Config()
+	if cfg.DropTransferProb != 0.01 || cfg.SizeJitterMax != 4096 ||
+		cfg.SizeJitterProb != 0.015 || cfg.JoinBreakProb != 0.92 ||
+		cfg.UnknownSiteProbTaskID != 0.40 || cfg.UnknownSiteProb != 0.02 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestDeterministicAcrossCorruptors(t *testing.T) {
+	// Same seed, same events => same decisions (the whole suite depends on
+	// this for reproducibility).
+	run := func() []string {
+		c := New(simtime.NewRNG(11), Config{})
+		var out []string
+		for i := 0; i < 50; i++ {
+			ev := event()
+			ev.JediTaskID = int64(i)
+			ev.Dataset = "ds" + string(rune('a'+i%7))
+			if c.Transfer(ev) {
+				out = append(out, ev.Dataset+"|"+ev.SourceSite+"|"+ev.DestinationSite)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("corruptors diverged in drop decisions")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corruptors diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

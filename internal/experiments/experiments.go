@@ -1,0 +1,261 @@
+// Package experiments orchestrates the paper's full evaluation: it runs the
+// simulated grid, applies the matching framework, and regenerates every
+// table and figure (DESIGN.md E1-E13). The command-line tools and the
+// benchmark harness both build on this package so that numbers printed by
+// `cmd/repro` and measured by `go test -bench` come from the same code.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"panrucio/internal/analysis"
+	"panrucio/internal/anomaly"
+	"panrucio/internal/core"
+	"panrucio/internal/records"
+	"panrucio/internal/report"
+	"panrucio/internal/sim"
+	"panrucio/internal/simtime"
+	"panrucio/internal/stats"
+	"panrucio/internal/topology"
+)
+
+// Suite bundles one simulation run with the derived matching results.
+type Suite struct {
+	Result *sim.Result
+	Jobs   []*records.JobRecord // user jobs completed in the window
+	Cmp    *analysis.MethodComparison
+}
+
+// Run executes the scenario and the three matching passes.
+func Run(cfg sim.Config) *Suite {
+	res := sim.Run(cfg)
+	jobs := res.Store.Jobs(res.WindowFrom, res.WindowTo, records.LabelUser)
+	m := core.NewMatcher(res.Store)
+	return &Suite{
+		Result: res,
+		Jobs:   jobs,
+		Cmp:    analysis.CompareMethods(m, jobs),
+	}
+}
+
+// Fig2 regenerates the cumulative-volume curve (E1).
+func (s *Suite) Fig2() []analysis.GrowthPoint {
+	return analysis.VolumeGrowth(analysis.GrowthConfig{})
+}
+
+// Fig3 regenerates the transfer heatmap over the study window (E2).
+func (s *Suite) Fig3() *analysis.Heatmap {
+	return analysis.BuildHeatmap(s.Result.Store, s.Result.Grid, s.Result.WindowFrom, s.Result.WindowTo)
+}
+
+// Table1 regenerates the exact-match activity breakdown (E3).
+func (s *Suite) Table1() []analysis.ActivityRow {
+	return analysis.ActivityBreakdown(s.Result.Store, s.Cmp.Exact)
+}
+
+// Fig5 regenerates the top-40 local-transfer jobs (E6).
+func (s *Suite) Fig5() []analysis.TopJob {
+	return analysis.TopJobs(s.Cmp.Exact, core.AllLocal, 0.10, 40)
+}
+
+// Fig6 regenerates the top-40 remote-transfer jobs (E7).
+func (s *Suite) Fig6() []analysis.TopJob {
+	return analysis.TopJobs(s.Cmp.Exact, core.AllRemote, 0.10, 40)
+}
+
+// matchedEvents collects the unique transfer events of a matching result.
+func matchedEvents(res *core.Result) []*records.TransferEvent {
+	seen := map[int64]bool{}
+	var out []*records.TransferEvent
+	for _, m := range res.Matches {
+		for _, ev := range m.Transfers {
+			if !seen[ev.EventID] {
+				seen[ev.EventID] = true
+				out = append(out, ev)
+			}
+		}
+	}
+	return out
+}
+
+// bandwidthFigure selects the top-k local or remote routes among the
+// RM2-matched transfers (the paper plots matched-transfer bandwidth) and
+// bins their flow.
+func (s *Suite) bandwidthFigure(local bool, k int) []*report.Series {
+	events := matchedEvents(s.Cmp.RM2)
+	routes := analysis.TopRoutes(events, local, k)
+	var out []*report.Series
+	for _, r := range routes {
+		ser := analysis.BandwidthSeries(analysis.RouteEvents(events, r),
+			s.Result.WindowFrom, s.Result.WindowTo, 5*simtime.Minute)
+		ser.Name = r.String()
+		if r.Local() {
+			ser.Name = "local @ " + r.Src
+		}
+		out = append(out, ser)
+	}
+	return out
+}
+
+// Fig7 regenerates the remote-connection bandwidth panels (E8).
+func (s *Suite) Fig7() []*report.Series { return s.bandwidthFigure(false, 6) }
+
+// Fig8 regenerates the local-site bandwidth panels (E9).
+func (s *Suite) Fig8() []*report.Series { return s.bandwidthFigure(true, 6) }
+
+// Fig9 regenerates the threshold curves (E10).
+func (s *Suite) Fig9() *analysis.ThresholdCurves {
+	return analysis.BuildThresholdCurves(s.Cmp.Exact, nil)
+}
+
+// Fig10 finds the long-transfer success case (E11).
+func (s *Suite) Fig10() *analysis.CaseStudy {
+	return analysis.FindLongTransferCase(s.Cmp.Exact, s.Result.Grid, 0.10)
+}
+
+// Fig11 finds the failed spanning-transfer case (E12).
+func (s *Suite) Fig11() *analysis.CaseStudy {
+	return analysis.FindFailedSpanningCase(s.Cmp.Exact, s.Result.Grid)
+}
+
+// Fig12 finds the RM2 redundant-transfer case with site inference (E13).
+func (s *Suite) Fig12() *analysis.CaseStudy {
+	return analysis.FindRM2RedundantCase(s.Cmp.RM2, s.Result.Grid)
+}
+
+// Anomalies runs the automated anomaly scan (the paper's future-work
+// detection layer) over the RM2 matches.
+func (s *Suite) Anomalies() *anomaly.Report {
+	return anomaly.NewScanner(s.Result.Grid).Scan(s.Cmp.RM2)
+}
+
+// SummaryTable reports the Section 5.1 headline numbers for this run.
+func (s *Suite) SummaryTable() *report.Table {
+	t := &report.Table{
+		Title:   "Section 5.1 — matching summary",
+		Columns: []string{"metric", "measured", "paper"},
+	}
+	st := s.Result.Store
+	t.AddRow("user jobs collected", fmt.Sprintf("%d", len(s.Jobs)), "966,453")
+	t.AddRow("transfer events collected", fmt.Sprintf("%d", st.TransferCount()), "6,784,936")
+	t.AddRow("transfers with jeditaskid", fmt.Sprintf("%d", st.TransfersWithTaskID()), "1,585,229")
+	t.AddRow("exact matched transfers", fmt.Sprintf("%d (%.2f%%)",
+		s.Cmp.Exact.MatchedTransfers, s.Cmp.Exact.MatchedTransferPct()), "30,380 (1.92%)")
+	t.AddRow("exact matched jobs", fmt.Sprintf("%d (%.2f%%)",
+		s.Cmp.Exact.MatchedJobs, s.Cmp.Exact.MatchedJobPct()), "7,907 (0.82%)")
+
+	var fracs []float64
+	for _, m := range s.Cmp.Exact.Matches {
+		fracs = append(fracs, 100*m.QueueTransferFraction())
+	}
+	t.AddRow("avg transfer time in queue", fmt.Sprintf("%.2f%%", stats.Mean(fracs)), "8.43%")
+	t.AddRow("geomean transfer time in queue", fmt.Sprintf("%.3f%%", stats.GeoMean(fracs)), "1.942%")
+	return t
+}
+
+// RenderAll produces the complete textual report: every table and figure
+// with its paper counterpart noted.
+func (s *Suite) RenderAll() string {
+	var b strings.Builder
+	w := func(x string) { b.WriteString(x); b.WriteString("\n") }
+
+	w(s.SummaryTable().Render())
+	w(analysis.GrowthReport(s.Fig2()).Render())
+	w(s.Fig3().Report(6).Render())
+	w(analysis.ActivityTable(s.Table1()).Render())
+	w(s.Cmp.TransferCountTable().Render())
+	w(s.Cmp.JobCountTable().Render())
+	w(analysis.TopJobsTable("Fig. 5 — top local-transfer jobs (>=10% of queuing time)", s.Fig5()).Render())
+	w(analysis.TopJobsTable("Fig. 6 — top remote-transfer jobs (>=10% of queuing time)", s.Fig6()).Render())
+	w(report.RenderSeries("Fig. 7 — bandwidth at remote connections (matched transfers)", 64, s.Fig7()))
+	w(report.RenderSeries("Fig. 8 — bandwidth at local sites (matched transfers)", 64, s.Fig8()))
+	w(s.Fig9().Table().Render())
+	for _, cs := range []*analysis.CaseStudy{s.Fig10(), s.Fig11(), s.Fig12()} {
+		if cs == nil {
+			w("(case study not present for this seed)")
+			continue
+		}
+		w(cs.TimelineTable().Render())
+		if cs.Kind == "rm2-redundant" {
+			w(cs.TransferSummaryTable().Render())
+		}
+	}
+	w(s.Anomalies().Table(5).Render())
+	return b.String()
+}
+
+// ShapeChecks verifies the paper's qualitative claims on this run and
+// returns human-readable pass/fail lines (used by cmd/repro and the
+// benchmark harness). All should pass for the default seeds.
+func (s *Suite) ShapeChecks() []string {
+	var out []string
+	check := func(name string, ok bool, detail string) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+		}
+		out = append(out, fmt.Sprintf("[%s] %s — %s", status, name, detail))
+	}
+	e, r1, r2 := s.Cmp.Exact, s.Cmp.RM1, s.Cmp.RM2
+
+	check("monotone transfers", e.MatchedTransfers <= r1.MatchedTransfers && r1.MatchedTransfers <= r2.MatchedTransfers,
+		fmt.Sprintf("%d <= %d <= %d", e.MatchedTransfers, r1.MatchedTransfers, r2.MatchedTransfers))
+	check("monotone jobs", e.MatchedJobs <= r1.MatchedJobs && r1.MatchedJobs <= r2.MatchedJobs,
+		fmt.Sprintf("%d <= %d <= %d", e.MatchedJobs, r1.MatchedJobs, r2.MatchedJobs))
+	localFrac := 0.0
+	if e.MatchedTransfers > 0 {
+		localFrac = float64(e.LocalTransfers) / float64(e.MatchedTransfers)
+	}
+	check("exact mostly local", localFrac >= 0.8,
+		fmt.Sprintf("local fraction %.2f (paper 0.94)", localFrac))
+	check("RM2 unlocks remote", r2.RemoteTransfers > 3*r1.RemoteTransfers,
+		fmt.Sprintf("remote %d -> %d", r1.RemoteTransfers, r2.RemoteTransfers))
+
+	rows := s.Table1()
+	var up, prodUp, prodDown analysis.ActivityRow
+	for _, row := range rows {
+		switch row.Activity {
+		case records.AnalysisUpload:
+			up = row
+		case records.ProductionUp:
+			prodUp = row
+		case records.ProductionDown:
+			prodDown = row
+		}
+	}
+	check("analysis upload high match", up.Pct() >= 70,
+		fmt.Sprintf("%.1f%% (paper 95.4%%)", up.Pct()))
+	check("production rows zero", prodUp.Matched == 0 && prodDown.Matched == 0,
+		fmt.Sprintf("%d/%d matched", prodUp.Matched, prodDown.Matched))
+
+	h := s.Fig3()
+	check("heatmap local dominance", h.LocalFraction() >= 0.5,
+		fmt.Sprintf("local %.1f%% of %s (paper 77%% of 957.98 PB)",
+			100*h.LocalFraction(), stats.FormatBytes(h.TotalBytes)))
+	check("heatmap imbalance", h.MeanCell > 10*h.GeoMeanCell,
+		fmt.Sprintf("mean %s vs geomean %s (paper 77.75 TB vs 1.11 TB)",
+			stats.FormatBytes(h.MeanCell), stats.FormatBytes(h.GeoMeanCell)))
+
+	tc := s.Fig9()
+	extreme := tc.AboveThreshold(75)
+	total := 0
+	for c := 0; c < 4; c++ {
+		total += tc.Totals[c]
+	}
+	check("extreme transfer-time jobs rare", total > 0 && extreme*20 < total,
+		fmt.Sprintf("%d of %d above 75%% (paper 72 of 7,907)", extreme, total))
+
+	growth := s.Fig2()
+	final := growth[len(growth)-1].TotalPB
+	check("volume ~1 EB by 2024", final >= 800 && final <= 1300,
+		fmt.Sprintf("%.0f PB", final))
+
+	check("fig10 case found", s.Fig10() != nil, "long-transfer success case")
+	check("fig11 case found", s.Fig11() != nil, "failed job spanning queue+wall")
+	check("fig12 case found", s.Fig12() != nil, "RM2 redundant transfers with inferable site")
+
+	sites := topology.Default(s.Result.Config.Grid)
+	check("grid scale", len(sites.Sites()) >= 110, fmt.Sprintf("%d sites (paper ~111 active)", len(sites.Sites())))
+	return out
+}

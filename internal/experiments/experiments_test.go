@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"panrucio/internal/sim"
+)
+
+// The quick scenario exercises the full suite end to end.
+func TestSuiteOnQuickConfig(t *testing.T) {
+	s := Run(sim.QuickConfig(21))
+	if len(s.Jobs) == 0 {
+		t.Fatal("no jobs")
+	}
+	if s.Cmp.Exact == nil || s.Cmp.RM1 == nil || s.Cmp.RM2 == nil {
+		t.Fatal("comparison incomplete")
+	}
+	if pts := s.Fig2(); len(pts) == 0 {
+		t.Error("Fig2 empty")
+	}
+	if h := s.Fig3(); h.TotalBytes == 0 {
+		t.Error("Fig3 empty")
+	}
+	if rows := s.Table1(); len(rows) != 5 {
+		t.Errorf("Table1 rows = %d", len(rows))
+	}
+	// Figures 5-9 may legitimately be small on a quick run, but must not
+	// panic and must respect their invariants.
+	for _, j := range s.Fig5() {
+		if j.TransferPct < 10 {
+			t.Error("Fig5 admitted a job below the 10% threshold")
+		}
+	}
+	for _, j := range s.Fig6() {
+		if j.TransferPct < 10 {
+			t.Error("Fig6 admitted a job below the 10% threshold")
+		}
+	}
+	if got := s.Fig7(); len(got) > 6 {
+		t.Error("Fig7 more than 6 panels")
+	}
+	if got := s.Fig8(); len(got) > 6 {
+		t.Error("Fig8 more than 6 panels")
+	}
+	tc := s.Fig9()
+	if tc == nil || len(tc.Thresholds) == 0 {
+		t.Fatal("Fig9 missing")
+	}
+	out := s.RenderAll()
+	for _, needle := range []string{"Table 1", "Table 2a", "Table 2b", "Fig. 2", "Fig. 3", "Fig. 9"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("RenderAll missing %q", needle)
+		}
+	}
+}
+
+// The paper-scale scenario must pass every qualitative shape check.
+func TestShapeChecksPaperConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run skipped in -short mode")
+	}
+	s := Run(sim.PaperConfig(1))
+	for _, line := range s.ShapeChecks() {
+		if strings.HasPrefix(line, "[FAIL]") {
+			t.Error(line)
+		} else {
+			t.Log(line)
+		}
+	}
+}
+
+func TestSuiteDeterministicRendering(t *testing.T) {
+	a := Run(sim.QuickConfig(23)).RenderAll()
+	b := Run(sim.QuickConfig(23)).RenderAll()
+	if a != b {
+		t.Fatal("RenderAll not deterministic for identical configs")
+	}
+	if !strings.Contains(a, "Automated anomaly scan") {
+		t.Error("anomaly scan missing from the full report")
+	}
+}
+
+func TestAnomaliesOnQuickRun(t *testing.T) {
+	s := Run(sim.QuickConfig(24))
+	rep := s.Anomalies()
+	if rep.JobsScanned != s.Cmp.RM2.MatchedJobs {
+		t.Errorf("scanned %d, want RM2 matched %d", rep.JobsScanned, s.Cmp.RM2.MatchedJobs)
+	}
+}

@@ -1,0 +1,136 @@
+// Package metastore is the OpenSearch stand-in: an in-memory, indexed
+// store of job records, JEDI file records, and Rucio transfer events, with
+// the time-windowed queries the paper's analysis workflow (Fig. 4) issues.
+// Records are immutable once ingested; all queries return the stored
+// pointers, so callers must not mutate results.
+package metastore
+
+import (
+	"sort"
+
+	"panrucio/internal/records"
+	"panrucio/internal/simtime"
+)
+
+// Store holds the three metadata indices.
+type Store struct {
+	jobs      []*records.JobRecord
+	files     []*records.FileRecord
+	transfers []*records.TransferEvent
+
+	jobsByID     map[int64]*records.JobRecord
+	filesByPanda map[int64][]*records.FileRecord
+	evByLFN      map[string][]*records.TransferEvent
+	evByTask     map[int64][]*records.TransferEvent
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		jobsByID:     make(map[int64]*records.JobRecord),
+		filesByPanda: make(map[int64][]*records.FileRecord),
+		evByLFN:      make(map[string][]*records.TransferEvent),
+		evByTask:     make(map[int64][]*records.TransferEvent),
+	}
+}
+
+// PutJob ingests a job record. Duplicate pandaids overwrite the index entry
+// but both rows are retained, mirroring the at-least-once semantics of the
+// production pipeline.
+func (s *Store) PutJob(j *records.JobRecord) {
+	s.jobs = append(s.jobs, j)
+	s.jobsByID[j.PandaID] = j
+}
+
+// PutFile ingests a JEDI file-table row.
+func (s *Store) PutFile(f *records.FileRecord) {
+	s.files = append(s.files, f)
+	s.filesByPanda[f.PandaID] = append(s.filesByPanda[f.PandaID], f)
+}
+
+// PutTransfer ingests a transfer event.
+func (s *Store) PutTransfer(ev *records.TransferEvent) {
+	s.transfers = append(s.transfers, ev)
+	s.evByLFN[ev.LFN] = append(s.evByLFN[ev.LFN], ev)
+	if ev.JediTaskID != 0 {
+		s.evByTask[ev.JediTaskID] = append(s.evByTask[ev.JediTaskID], ev)
+	}
+}
+
+// Counts of ingested records.
+func (s *Store) JobCount() int      { return len(s.jobs) }
+func (s *Store) FileCount() int     { return len(s.files) }
+func (s *Store) TransferCount() int { return len(s.transfers) }
+
+// TransfersWithTaskID counts events that retained a valid jeditaskid (the
+// paper's 1,585,229 of 6,784,936).
+func (s *Store) TransfersWithTaskID() int {
+	n := 0
+	for _, ev := range s.transfers {
+		if ev.HasTaskID() {
+			n++
+		}
+	}
+	return n
+}
+
+// Jobs returns the jobs with EndTime in [from, to) and the given label
+// ("" = any), sorted by pandaid. This mirrors the paper's query semantics:
+// only jobs completed inside the window are reported.
+func (s *Store) Jobs(from, to simtime.VTime, label records.SourceLabel) []*records.JobRecord {
+	var out []*records.JobRecord
+	for _, j := range s.jobs {
+		if j.EndTime < from || j.EndTime >= to {
+			continue
+		}
+		if label != "" && j.Label != label {
+			continue
+		}
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].PandaID < out[k].PandaID })
+	return out
+}
+
+// Job resolves a pandaid.
+func (s *Store) Job(pandaID int64) (*records.JobRecord, bool) {
+	j, ok := s.jobsByID[pandaID]
+	return j, ok
+}
+
+// FilesForJob returns the JEDI file rows carrying the given pandaid and
+// jeditaskid — Algorithm 1's F'_j subset.
+func (s *Store) FilesForJob(pandaID, jediTaskID int64) []*records.FileRecord {
+	var out []*records.FileRecord
+	for _, f := range s.filesByPanda[pandaID] {
+		if f.JediTaskID == jediTaskID {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TransfersByLFN returns the transfer events for one logical file name.
+func (s *Store) TransfersByLFN(lfn string) []*records.TransferEvent {
+	return s.evByLFN[lfn]
+}
+
+// TransfersByTaskID returns the transfer events carrying a jeditaskid.
+func (s *Store) TransfersByTaskID(jedi int64) []*records.TransferEvent {
+	return s.evByTask[jedi]
+}
+
+// Transfers returns events with StartedAt in [from, to); from==to==0 means
+// everything. Events are returned in ingestion order.
+func (s *Store) Transfers(from, to simtime.VTime) []*records.TransferEvent {
+	if from == 0 && to == 0 {
+		return s.transfers
+	}
+	var out []*records.TransferEvent
+	for _, ev := range s.transfers {
+		if ev.StartedAt >= from && ev.StartedAt < to {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

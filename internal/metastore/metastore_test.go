@@ -1,0 +1,98 @@
+package metastore
+
+import (
+	"testing"
+
+	"panrucio/internal/records"
+)
+
+func TestJobQueriesWindowAndLabel(t *testing.T) {
+	s := New()
+	s.PutJob(&records.JobRecord{PandaID: 3, EndTime: 50, Label: records.LabelUser})
+	s.PutJob(&records.JobRecord{PandaID: 1, EndTime: 150, Label: records.LabelUser})
+	s.PutJob(&records.JobRecord{PandaID: 2, EndTime: 150, Label: records.LabelManaged})
+	s.PutJob(&records.JobRecord{PandaID: 4, EndTime: 250, Label: records.LabelUser})
+
+	got := s.Jobs(100, 200, records.LabelUser)
+	if len(got) != 1 || got[0].PandaID != 1 {
+		t.Fatalf("windowed user jobs = %v", got)
+	}
+	all := s.Jobs(0, 1000, "")
+	if len(all) != 4 {
+		t.Fatalf("all jobs = %d", len(all))
+	}
+	// Sorted by pandaid.
+	for i := 1; i < len(all); i++ {
+		if all[i-1].PandaID >= all[i].PandaID {
+			t.Fatal("jobs not sorted by pandaid")
+		}
+	}
+	if _, ok := s.Job(2); !ok {
+		t.Error("Job(2) lookup failed")
+	}
+	if _, ok := s.Job(99); ok {
+		t.Error("phantom job")
+	}
+	if s.JobCount() != 4 {
+		t.Error("JobCount wrong")
+	}
+}
+
+func TestFilesForJobFiltersTask(t *testing.T) {
+	s := New()
+	s.PutFile(&records.FileRecord{PandaID: 10, JediTaskID: 1, LFN: "a"})
+	s.PutFile(&records.FileRecord{PandaID: 10, JediTaskID: 2, LFN: "b"})
+	s.PutFile(&records.FileRecord{PandaID: 11, JediTaskID: 1, LFN: "c"})
+	got := s.FilesForJob(10, 1)
+	if len(got) != 1 || got[0].LFN != "a" {
+		t.Fatalf("FilesForJob = %v", got)
+	}
+	if s.FileCount() != 3 {
+		t.Error("FileCount wrong")
+	}
+	if s.FilesForJob(99, 1) != nil {
+		t.Error("phantom files")
+	}
+}
+
+func TestTransferIndexes(t *testing.T) {
+	s := New()
+	s.PutTransfer(&records.TransferEvent{EventID: 1, LFN: "x", JediTaskID: 5, StartedAt: 10})
+	s.PutTransfer(&records.TransferEvent{EventID: 2, LFN: "x", JediTaskID: 0, StartedAt: 20})
+	s.PutTransfer(&records.TransferEvent{EventID: 3, LFN: "y", JediTaskID: 5, StartedAt: 30})
+
+	if got := s.TransfersByLFN("x"); len(got) != 2 {
+		t.Fatalf("TransfersByLFN(x) = %d", len(got))
+	}
+	if got := s.TransfersByTaskID(5); len(got) != 2 {
+		t.Fatalf("TransfersByTaskID(5) = %d", len(got))
+	}
+	if s.TransfersWithTaskID() != 2 {
+		t.Errorf("TransfersWithTaskID = %d", s.TransfersWithTaskID())
+	}
+	if got := s.Transfers(15, 35); len(got) != 2 {
+		t.Fatalf("windowed transfers = %d", len(got))
+	}
+	if got := s.Transfers(0, 0); len(got) != 3 {
+		t.Fatalf("all transfers = %d", len(got))
+	}
+	if s.TransferCount() != 3 {
+		t.Error("TransferCount wrong")
+	}
+}
+
+func TestDuplicatePandaIDKeepsBothRows(t *testing.T) {
+	s := New()
+	s.PutJob(&records.JobRecord{PandaID: 7, EndTime: 10, Label: records.LabelUser})
+	s.PutJob(&records.JobRecord{PandaID: 7, EndTime: 20, Label: records.LabelUser})
+	if s.JobCount() != 2 {
+		t.Errorf("rows = %d, want at-least-once retention of both", s.JobCount())
+	}
+	j, ok := s.Job(7)
+	if !ok || j.EndTime != 20 {
+		t.Error("index should point at the latest ingest")
+	}
+	if got := s.Jobs(0, 100, records.LabelUser); len(got) != 2 {
+		t.Errorf("windowed query returned %d rows", len(got))
+	}
+}

@@ -1,0 +1,162 @@
+// Package records defines the metadata record schema shared by the PanDA
+// and Rucio substrates, the metastore, and the matching framework. The
+// fields mirror the attributes the paper's Algorithm 1 consumes: PanDA job
+// records, JEDI file records, and Rucio transfer events. Transfer events
+// deliberately carry no pandaid — the absence of that link is the paper's
+// central data problem.
+package records
+
+import "panrucio/internal/simtime"
+
+// Activity is the Rucio transfer activity label (paper Table 1).
+type Activity string
+
+// Transfer activities. The first five are the job-correlated activities of
+// Table 1; the rest are background data-management traffic that dominates
+// Fig. 3's volume but carries no jeditaskid.
+const (
+	AnalysisDownload Activity = "Analysis Download"
+	AnalysisUpload   Activity = "Analysis Upload"
+	AnalysisDirectIO Activity = "Analysis Download Direct IO"
+	ProductionDown   Activity = "Production Download"
+	ProductionUp     Activity = "Production Upload"
+
+	DataRebalancing   Activity = "Data Rebalancing"
+	DataConsolidation Activity = "Data Consolidation"
+	TierExport        Activity = "T0 Export"
+	UserSubscription  Activity = "User Subscriptions"
+)
+
+// JobActivities lists the five activities that can carry a jeditaskid and
+// therefore participate in matching, in Table 1 row order.
+var JobActivities = []Activity{
+	AnalysisDownload,
+	AnalysisUpload,
+	AnalysisDirectIO,
+	ProductionUp,
+	ProductionDown,
+}
+
+// JobStatus is the terminal state of a PanDA job.
+type JobStatus string
+
+// Job terminal states ("D" and "F" in the paper's Fig. 5 labels).
+const (
+	JobFinished JobStatus = "finished"
+	JobFailed   JobStatus = "failed"
+)
+
+// TaskStatus is the terminal state of a JEDI task.
+type TaskStatus string
+
+// Task terminal states.
+const (
+	TaskDone   TaskStatus = "done"
+	TaskFailed TaskStatus = "failed"
+)
+
+// SourceLabel distinguishes user analysis jobs from managed production.
+type SourceLabel string
+
+// Job source labels. The paper's 8-day query set contains user jobs only,
+// which is why Production activities match at 0 % in Table 1.
+const (
+	LabelUser    SourceLabel = "user"
+	LabelManaged SourceLabel = "managed"
+)
+
+// JobRecord is a PanDA job metadata record as returned by the query module.
+type JobRecord struct {
+	PandaID       int64
+	JediTaskID    int64
+	ComputingSite string
+	Label         SourceLabel
+
+	CreationTime simtime.VTime // job submitted
+	StartTime    simtime.VTime // payload execution began
+	EndTime      simtime.VTime // terminal state reached
+
+	Status     JobStatus
+	TaskStatus TaskStatus
+
+	NInputFileBytes  int64
+	NOutputFileBytes int64
+
+	ErrorCode    int
+	ErrorMessage string
+}
+
+// QueueTime is the paper's queuing time: creation to execution start.
+func (j *JobRecord) QueueTime() simtime.VTime { return j.StartTime - j.CreationTime }
+
+// WallTime is the execution period: start to completion.
+func (j *JobRecord) WallTime() simtime.VTime { return j.EndTime - j.StartTime }
+
+// Lifetime is creation to completion.
+func (j *JobRecord) Lifetime() simtime.VTime { return j.EndTime - j.CreationTime }
+
+// FileKind marks a file record as job input or output.
+type FileKind string
+
+// File kinds in the JEDI file table.
+const (
+	FileInput  FileKind = "input"
+	FileOutput FileKind = "output"
+)
+
+// FileRecord is a JEDI file-table row: the bridge between jobs and
+// transfers. It carries both pandaid and the file attributes that transfer
+// events also carry.
+type FileRecord struct {
+	PandaID    int64
+	JediTaskID int64
+
+	LFN        string
+	Scope      string
+	Dataset    string
+	ProdDBlock string
+	FileSize   int64
+	Kind       FileKind
+}
+
+// TransferEvent is a Rucio file-transfer completion event. There is no
+// pandaid field by design; jeditaskid is present only for job-correlated
+// activities and may be lost to corruption (0 = absent).
+type TransferEvent struct {
+	EventID int64
+
+	LFN        string
+	Scope      string
+	Dataset    string
+	ProdDBlock string
+	FileSize   int64
+
+	SourceRSE       string
+	DestinationRSE  string
+	SourceSite      string // may be topology.UnknownSite after corruption
+	DestinationSite string // may be topology.UnknownSite after corruption
+
+	Activity   Activity
+	IsDownload bool
+	IsUpload   bool
+
+	JediTaskID int64 // 0 = not recorded
+
+	SubmittedAt simtime.VTime
+	StartedAt   simtime.VTime
+	EndedAt     simtime.VTime
+
+	ThroughputBps float64
+}
+
+// Duration is the active transfer time.
+func (t *TransferEvent) Duration() simtime.VTime { return t.EndedAt - t.StartedAt }
+
+// IsLocal reports whether source and destination site labels agree (the
+// diagonal cells of Fig. 3). Transfers with an UNKNOWN endpoint are not
+// local unless both endpoints are UNKNOWN, mirroring the paper's Fig. 3
+// aggregation.
+func (t *TransferEvent) IsLocal() bool { return t.SourceSite == t.DestinationSite }
+
+// HasTaskID reports whether the event retained a valid jeditaskid.
+func (t *TransferEvent) HasTaskID() bool { return t.JediTaskID != 0 }

@@ -1,0 +1,67 @@
+package records
+
+import (
+	"testing"
+
+	"panrucio/internal/simtime"
+	"panrucio/internal/topology"
+)
+
+func TestJobRecordTimes(t *testing.T) {
+	j := &JobRecord{CreationTime: 100, StartTime: 400, EndTime: 1000}
+	if j.QueueTime() != 300 {
+		t.Errorf("QueueTime = %d", j.QueueTime())
+	}
+	if j.WallTime() != 600 {
+		t.Errorf("WallTime = %d", j.WallTime())
+	}
+	if j.Lifetime() != 900 {
+		t.Errorf("Lifetime = %d", j.Lifetime())
+	}
+}
+
+func TestTransferEventHelpers(t *testing.T) {
+	ev := &TransferEvent{SourceSite: "A", DestinationSite: "A", StartedAt: 10, EndedAt: 40}
+	if !ev.IsLocal() {
+		t.Error("same-site transfer should be local")
+	}
+	if ev.Duration() != 30 {
+		t.Errorf("Duration = %d", ev.Duration())
+	}
+	ev.DestinationSite = "B"
+	if ev.IsLocal() {
+		t.Error("cross-site transfer should be remote")
+	}
+	ev.SourceSite = topology.UnknownSite
+	ev.DestinationSite = topology.UnknownSite
+	if !ev.IsLocal() {
+		t.Error("double-UNKNOWN counts as diagonal per Fig. 3 aggregation")
+	}
+	if ev.HasTaskID() {
+		t.Error("zero jeditaskid must read as absent")
+	}
+	ev.JediTaskID = 77
+	if !ev.HasTaskID() {
+		t.Error("nonzero jeditaskid must read as present")
+	}
+}
+
+func TestJobActivitiesOrder(t *testing.T) {
+	want := []Activity{AnalysisDownload, AnalysisUpload, AnalysisDirectIO, ProductionUp, ProductionDown}
+	if len(JobActivities) != len(want) {
+		t.Fatal("JobActivities length changed")
+	}
+	for i := range want {
+		if JobActivities[i] != want[i] {
+			t.Errorf("JobActivities[%d] = %q, want %q (Table 1 row order)", i, JobActivities[i], want[i])
+		}
+	}
+}
+
+func TestVTimeZeroValues(t *testing.T) {
+	var j JobRecord
+	if j.QueueTime() != 0 || j.WallTime() != 0 {
+		t.Error("zero record should have zero durations")
+	}
+	_ = simtime.VTime(0)
+}

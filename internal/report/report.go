@@ -1,0 +1,173 @@
+// Package report renders analysis outputs as fixed-width ASCII tables, CSV,
+// and text sparklines — the presentation layer for the table and figure
+// regenerators. Keeping rendering separate from computation lets the bench
+// harness validate numbers without parsing text.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Columns) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render produces an aligned ASCII view.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", widths[i], cell)
+		}
+		b.WriteString("|\n")
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i == 0 {
+			b.WriteString("|")
+		}
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV produces a comma-separated view with minimal quoting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Columns)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points (one line of a figure).
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// MaxY returns the largest Y value, or 0 for an empty series.
+func (s *Series) MaxY() float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// Sparkline renders the series as a single text line of height-8 block
+// glyphs, downsampled (by max) to the given width.
+func (s *Series) Sparkline(width int) string {
+	if width <= 0 || len(s.Points) == 0 {
+		return ""
+	}
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	maxY := s.MaxY()
+	if maxY == 0 {
+		return strings.Repeat(" ", width)
+	}
+	out := make([]rune, width)
+	per := float64(len(s.Points)) / float64(width)
+	for i := 0; i < width; i++ {
+		lo := int(float64(i) * per)
+		hi := int(float64(i+1) * per)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(s.Points) {
+			hi = len(s.Points)
+		}
+		bucket := 0.0
+		for _, p := range s.Points[lo:hi] {
+			if p.Y > bucket {
+				bucket = p.Y
+			}
+		}
+		g := int(bucket / maxY * float64(len(glyphs)-1))
+		if g < 0 {
+			g = 0
+		}
+		if g >= len(glyphs) {
+			g = len(glyphs) - 1
+		}
+		out[i] = glyphs[g]
+	}
+	return string(out)
+}
+
+// RenderSeries renders a labelled sparkline block for several series.
+func RenderSeries(title string, width int, series []*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-*s |%s| max=%.3g\n", nameW, s.Name, s.Sparkline(width), s.MaxY())
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{Title: "T", Columns: []string{"a", "bee"}}
+	tbl.AddRow("longer", "x")
+	tbl.AddRow("s") // short row padded
+	out := tbl.Render()
+	if !strings.Contains(out, "== T ==") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// All data lines equal width.
+	if len(lines[1]) != len(lines[3]) || len(lines[3]) != len(lines[4]) {
+		t.Errorf("misaligned rows:\n%s", out)
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b"}}
+	tbl.AddRow(`say "hi"`, "x,y")
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"say ""hi"""`) {
+		t.Errorf("quote escaping wrong: %q", csv)
+	}
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Errorf("comma escaping wrong: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("header wrong: %q", csv)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := &Series{Name: "x"}
+	for i := 0; i < 100; i++ {
+		s.Points = append(s.Points, Point{X: float64(i), Y: float64(i % 10)})
+	}
+	line := s.Sparkline(20)
+	if len([]rune(line)) != 20 {
+		t.Fatalf("width = %d", len([]rune(line)))
+	}
+	if s.Sparkline(0) != "" {
+		t.Error("zero width should be empty")
+	}
+	empty := &Series{}
+	if empty.Sparkline(5) != "" {
+		t.Error("empty series should render empty")
+	}
+	flat := &Series{Points: []Point{{0, 0}, {1, 0}}}
+	if got := flat.Sparkline(4); got != "    " {
+		t.Errorf("flat zero series = %q", got)
+	}
+}
+
+func TestMaxYAndRenderSeries(t *testing.T) {
+	s := &Series{Name: "conn", Points: []Point{{0, 1}, {1, 5}, {2, 3}}}
+	if s.MaxY() != 5 {
+		t.Errorf("MaxY = %g", s.MaxY())
+	}
+	out := RenderSeries("F", 10, []*Series{s})
+	if !strings.Contains(out, "== F ==") || !strings.Contains(out, "conn") {
+		t.Errorf("RenderSeries output: %q", out)
+	}
+	if !strings.Contains(out, "max=5") {
+		t.Errorf("max annotation missing: %q", out)
+	}
+}

@@ -1,0 +1,207 @@
+// Package rucio implements the data-management substrate: a three-level DID
+// namespace (files, datasets, containers), replicas on Rucio Storage
+// Elements, replication to destination RSEs, pilot stage-in/stage-out
+// transfers, and background data-management traffic. Completed transfers
+// are emitted as records.TransferEvent through a pluggable sink — the same
+// event stream the paper queries from OpenSearch.
+package rucio
+
+import (
+	"fmt"
+	"sort"
+
+	"panrucio/internal/topology"
+)
+
+// FileInfo describes one catalogued file (the smallest DID unit).
+type FileInfo struct {
+	LFN        string
+	Scope      string
+	Dataset    string // owning dataset DID name
+	ProdDBlock string // block-level data identifier (paper Algorithm 1)
+	Size       int64
+}
+
+// Dataset groups files for bulk operations.
+type Dataset struct {
+	Name      string
+	Scope     string
+	Container string
+	Files     []*FileInfo
+}
+
+// TotalBytes sums the file sizes in the dataset.
+func (d *Dataset) TotalBytes() int64 {
+	var total int64
+	for _, f := range d.Files {
+		total += f.Size
+	}
+	return total
+}
+
+// ReplicaState is the lifecycle state of one file copy at one RSE.
+type ReplicaState int
+
+// Replica states.
+const (
+	ReplicaCopying ReplicaState = iota
+	ReplicaAvailable
+)
+
+// Catalog is the Rucio namespace: files, datasets, containers, replicas.
+// Single-goroutine, like the rest of the DES.
+type Catalog struct {
+	files      map[string]*FileInfo // keyed by LFN (globally unique here)
+	datasets   map[string]*Dataset
+	containers map[string][]string // container -> dataset names
+
+	// replicas[lfn][rse] = state
+	replicas map[string]map[string]ReplicaState
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		files:      make(map[string]*FileInfo),
+		datasets:   make(map[string]*Dataset),
+		containers: make(map[string][]string),
+		replicas:   make(map[string]map[string]ReplicaState),
+	}
+}
+
+// CreateDataset registers an empty dataset DID. Creating an existing
+// dataset is an error.
+func (c *Catalog) CreateDataset(scope, name, container string) (*Dataset, error) {
+	if _, dup := c.datasets[name]; dup {
+		return nil, fmt.Errorf("rucio: dataset %q exists", name)
+	}
+	d := &Dataset{Name: name, Scope: scope, Container: container}
+	c.datasets[name] = d
+	if container != "" {
+		c.containers[container] = append(c.containers[container], name)
+	}
+	return d, nil
+}
+
+// AddFile attaches a new file to an existing dataset. LFNs are globally
+// unique.
+func (c *Catalog) AddFile(f *FileInfo) error {
+	if f.LFN == "" {
+		return fmt.Errorf("rucio: empty LFN")
+	}
+	if _, dup := c.files[f.LFN]; dup {
+		return fmt.Errorf("rucio: file %q exists", f.LFN)
+	}
+	d, ok := c.datasets[f.Dataset]
+	if !ok {
+		return fmt.Errorf("rucio: dataset %q not found for file %q", f.Dataset, f.LFN)
+	}
+	c.files[f.LFN] = f
+	d.Files = append(d.Files, f)
+	return nil
+}
+
+// File resolves an LFN.
+func (c *Catalog) File(lfn string) (*FileInfo, bool) {
+	f, ok := c.files[lfn]
+	return f, ok
+}
+
+// Dataset resolves a dataset name.
+func (c *Catalog) Dataset(name string) (*Dataset, bool) {
+	d, ok := c.datasets[name]
+	return d, ok
+}
+
+// ContainerDatasets lists the dataset names attached to a container.
+func (c *Catalog) ContainerDatasets(name string) []string { return c.containers[name] }
+
+// NumFiles reports the catalogued file count.
+func (c *Catalog) NumFiles() int { return len(c.files) }
+
+// NumDatasets reports the catalogued dataset count.
+func (c *Catalog) NumDatasets() int { return len(c.datasets) }
+
+// SetReplica records a file copy at an RSE in the given state, upgrading
+// any existing entry.
+func (c *Catalog) SetReplica(lfn, rse string, st ReplicaState) {
+	m, ok := c.replicas[lfn]
+	if !ok {
+		m = make(map[string]ReplicaState, 2)
+		c.replicas[lfn] = m
+	}
+	m[rse] = st
+}
+
+// DropReplica removes a file copy record.
+func (c *Catalog) DropReplica(lfn, rse string) {
+	if m, ok := c.replicas[lfn]; ok {
+		delete(m, rse)
+	}
+}
+
+// HasReplica reports whether an available replica of lfn exists at rse.
+func (c *Catalog) HasReplica(lfn, rse string) bool {
+	return c.replicas[lfn][rse] == ReplicaAvailable && c.hasEntry(lfn, rse)
+}
+
+func (c *Catalog) hasEntry(lfn, rse string) bool {
+	_, ok := c.replicas[lfn][rse]
+	return ok
+}
+
+// FileRSEs returns the RSEs holding an available replica of lfn, sorted for
+// determinism.
+func (c *Catalog) FileRSEs(lfn string) []string {
+	var out []string
+	for rse, st := range c.replicas[lfn] {
+		if st == ReplicaAvailable {
+			out = append(out, rse)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DatasetCompleteAt reports whether every file of the dataset has an
+// available replica at the RSE.
+func (c *Catalog) DatasetCompleteAt(ds *Dataset, rse string) bool {
+	if len(ds.Files) == 0 {
+		return false
+	}
+	for _, f := range ds.Files {
+		if !c.HasReplica(f.LFN, rse) {
+			return false
+		}
+	}
+	return true
+}
+
+// DatasetBytesAt sums the bytes of the dataset's files that have available
+// replicas at the RSE (used by locality-weighted brokerage).
+func (c *Catalog) DatasetBytesAt(ds *Dataset, rse string) int64 {
+	var total int64
+	for _, f := range ds.Files {
+		if c.HasReplica(f.LFN, rse) {
+			total += f.Size
+		}
+	}
+	return total
+}
+
+// DatasetSites returns the sites whose primary disk RSE holds the complete
+// dataset, sorted for determinism.
+func (c *Catalog) DatasetSites(ds *Dataset, grid *topology.Grid) []string {
+	var out []string
+	for _, s := range grid.Sites() {
+		rse, ok := grid.PrimaryRSE(s.Name)
+		if !ok {
+			continue
+		}
+		if c.DatasetCompleteAt(ds, rse.Name) {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

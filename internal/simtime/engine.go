@@ -1,0 +1,171 @@
+package simtime
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Event is a scheduled callback. Events fire in (time, sequence) order;
+// the sequence number makes same-instant events deterministic (FIFO by
+// scheduling order), which is essential for reproducibility.
+type Event struct {
+	At   VTime
+	Run  func()
+	Name string // optional label for debugging and tracing
+
+	seq       uint64
+	index     int
+	cancelled bool
+}
+
+// Cancel marks an event so the engine skips it when popped. Cancelling an
+// already-fired event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// ErrPastEvent is returned when scheduling before the current virtual time.
+var ErrPastEvent = errors.New("simtime: cannot schedule event in the past")
+
+// Engine is the discrete-event simulation driver. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	clock   *Clock
+	queue   eventHeap
+	nextSeq uint64
+	fired   uint64
+	horizon VTime // exclusive end of simulation; events at/after it never run
+}
+
+// NewEngine creates an engine starting at virtual time start and running
+// until the horizon (exclusive). A zero horizon means "no horizon" (the
+// engine runs until the queue drains).
+func NewEngine(start, horizon VTime) *Engine {
+	if horizon == 0 {
+		horizon = VTime(math.MaxInt64)
+	}
+	return &Engine{clock: NewClock(start), horizon: horizon}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() VTime { return e.clock.Now() }
+
+// Horizon reports the exclusive simulation end time.
+func (e *Engine) Horizon() VTime { return e.horizon }
+
+// Pending reports the number of events waiting in the queue, including
+// cancelled ones not yet reaped.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute virtual time t and returns the event
+// handle (usable for cancellation). Scheduling in the past is an error.
+func (e *Engine) At(t VTime, name string, fn func()) (*Event, error) {
+	if t < e.clock.Now() {
+		return nil, ErrPastEvent
+	}
+	ev := &Event{At: t, Run: fn, Name: name, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// After schedules fn to run d seconds from now. Negative delays clamp to 0
+// (run at the current instant, after already-queued same-instant events).
+func (e *Engine) After(d VTime, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev, err := e.At(e.clock.Now()+d, name, fn)
+	if err != nil {
+		// Unreachable: now+nonnegative is never in the past.
+		panic(err)
+	}
+	return ev
+}
+
+// Step fires the single earliest pending event. It returns false when the
+// queue is empty or the next event lies at/after the horizon (in which case
+// the clock advances to the horizon).
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.At >= e.horizon {
+			e.clock.advance(e.horizon)
+			return false
+		}
+		e.clock.advance(ev.At)
+		e.fired++
+		ev.Run()
+		return true
+	}
+	return false
+}
+
+// Run drives the simulation until the queue drains or the horizon is
+// reached, returning the number of events fired.
+func (e *Engine) Run() uint64 {
+	start := e.fired
+	for e.Step() {
+	}
+	return e.fired - start
+}
+
+// RunUntil drives the simulation until the given virtual time (exclusive);
+// events scheduled at or after t remain queued. The clock ends at min(t,
+// next-event-time, horizon) — i.e. it does not jump past t.
+func (e *Engine) RunUntil(t VTime) {
+	if t > e.horizon {
+		t = e.horizon
+	}
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if ev.At >= t {
+			break
+		}
+		e.Step()
+	}
+	if e.clock.Now() < t {
+		e.clock.advance(t)
+	}
+}

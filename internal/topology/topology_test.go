@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	mk := func() []*Site {
+		return []*Site{{Name: "A", Tier: Tier1}, {Name: "B", Tier: Tier2}}
+	}
+	if _, err := NewGrid(mk(), nil); err != nil {
+		t.Fatalf("valid grid rejected: %v", err)
+	}
+	if _, err := NewGrid([]*Site{{Name: ""}}, nil); err == nil {
+		t.Error("empty site name accepted")
+	}
+	if _, err := NewGrid([]*Site{{Name: "A"}, {Name: "A"}}, nil); err == nil {
+		t.Error("duplicate site accepted")
+	}
+	if _, err := NewGrid([]*Site{{Name: UnknownSite}}, nil); err == nil {
+		t.Error("reserved UNKNOWN site name accepted")
+	}
+	if _, err := NewGrid(mk(), []*RSE{{Name: "X", Site: "NOPE"}}); err == nil {
+		t.Error("RSE with unknown site accepted")
+	}
+	if _, err := NewGrid(mk(), []*RSE{{Name: "X", Site: "A"}, {Name: "X", Site: "B"}}); err == nil {
+		t.Error("duplicate RSE accepted")
+	}
+}
+
+func TestGridLookupsAndIndexes(t *testing.T) {
+	g, err := NewGrid(
+		[]*Site{{Name: "A", Tier: Tier0}, {Name: "B", Tier: Tier2}},
+		[]*RSE{{Name: "A_DISK", Site: "A", Kind: Disk}, {Name: "A_TAPE", Site: "A", Kind: Tape}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := g.Site("A"); !ok || s.Tier != Tier0 {
+		t.Error("Site lookup failed")
+	}
+	if _, ok := g.Site(UnknownSite); ok {
+		t.Error("UNKNOWN resolved to a real site")
+	}
+	if g.SiteIndex("A") != 0 || g.SiteIndex("B") != 1 {
+		t.Error("site indexes not in construction order")
+	}
+	if g.SiteIndex(UnknownSite) != 2 || g.SiteIndex("garbage") != 2 {
+		t.Error("unknown names must map to the UNKNOWN axis")
+	}
+	if g.NumAxes() != 3 {
+		t.Errorf("NumAxes = %d, want 3", g.NumAxes())
+	}
+	if g.AxisLabel(2) != UnknownSite || g.AxisLabel(0) != "A" {
+		t.Error("axis labels wrong")
+	}
+	if r, ok := g.PrimaryRSE("A"); !ok || r.Name != "A_DISK" {
+		t.Error("PrimaryRSE should prefer disk")
+	}
+	if _, ok := g.PrimaryRSE("B"); ok {
+		t.Error("PrimaryRSE for storage-less site should fail")
+	}
+	if _, ok := g.RSE("A_TAPE"); !ok {
+		t.Error("RSE lookup failed")
+	}
+}
+
+func TestTierString(t *testing.T) {
+	for tier, want := range map[Tier]string{Tier0: "Tier-0", Tier1: "Tier-1", Tier2: "Tier-2", Tier3: "Tier-3"} {
+		if tier.String() != want {
+			t.Errorf("%d.String() = %q", tier, tier.String())
+		}
+	}
+	if !strings.Contains(Tier(9).String(), "9") {
+		t.Error("out-of-range tier string should include the value")
+	}
+	if Disk.String() != "DISK" || Tape.String() != "TAPE" {
+		t.Error("StorageKind strings wrong")
+	}
+}
+
+func TestDefaultGridShape(t *testing.T) {
+	g := Default(DefaultSpec{})
+	n := len(g.Sites())
+	if n < 110 || n > 130 {
+		t.Fatalf("default grid has %d sites, want ~120", n)
+	}
+	if len(g.SitesByTier(Tier0)) != 1 {
+		t.Error("exactly one Tier-0 expected")
+	}
+	if len(g.SitesByTier(Tier1)) < 5 {
+		t.Error("too few Tier-1 sites")
+	}
+	// Paper exemplar sites must exist.
+	for _, name := range []string{"CERN-PROD", "BNL-ATLAS", "NDGF-T1", "SIGNET", "TOKYO-LCG2", "MILANO-T2", "GENOVA-T3", "PIC", "SPRACE", "AGLT2", "MWT2"} {
+		if _, ok := g.Site(name); !ok {
+			t.Errorf("exemplar site %s missing", name)
+		}
+	}
+	// Every site has a primary disk RSE.
+	for _, s := range g.Sites() {
+		r, ok := g.PrimaryRSE(s.Name)
+		if !ok || r.Kind != Disk {
+			t.Errorf("site %s lacks a disk RSE", s.Name)
+		}
+	}
+	// Tier-0/1 get tape.
+	for _, name := range append(g.SitesByTier(Tier0), g.SitesByTier(Tier1)...) {
+		s, _ := g.Site(name)
+		hasTape := false
+		for _, rn := range s.RSEs {
+			if r, _ := g.RSE(rn); r.Kind == Tape {
+				hasTape = true
+			}
+		}
+		if !hasTape {
+			t.Errorf("site %s (tier %v) lacks tape", name, s.Tier)
+		}
+	}
+	if g.TotalCPUSlots() < 50000 {
+		t.Errorf("grid CPU capacity suspiciously low: %d", g.TotalCPUSlots())
+	}
+}
+
+func TestDefaultGridDeterminism(t *testing.T) {
+	a, b := Default(DefaultSpec{}), Default(DefaultSpec{})
+	if len(a.Sites()) != len(b.Sites()) {
+		t.Fatal("non-deterministic site count")
+	}
+	for i := range a.Sites() {
+		if a.Sites()[i].Name != b.Sites()[i].Name {
+			t.Fatal("non-deterministic site ordering")
+		}
+	}
+	// Grids are independent copies: mutating one must not leak.
+	a.Sites()[0].CPUSlots = 1
+	if b.Sites()[0].CPUSlots == 1 {
+		t.Fatal("Default() grids share site structs")
+	}
+}
+
+func TestLinkGbps(t *testing.T) {
+	g := Default(DefaultSpec{})
+	cern, _ := g.Site("CERN-PROD")
+	if got := LinkGbps(g, "CERN-PROD", "CERN-PROD"); got != cern.LANGbps {
+		t.Errorf("local link = %g, want LAN %g", got, cern.LANGbps)
+	}
+	// Cross-region discounted below both endpoints' WAN.
+	bnl, _ := g.Site("BNL-ATLAS")
+	x := LinkGbps(g, "CERN-PROD", "BNL-ATLAS")
+	if x >= bnl.WANGbps {
+		t.Errorf("cross-region link %g not discounted below WAN %g", x, bnl.WANGbps)
+	}
+	if x <= 0 {
+		t.Error("link bandwidth must be positive")
+	}
+	// Same-region remote link is bounded by min WAN, undiscounted.
+	y := LinkGbps(g, "RAL-LCG2", "UKI-NORTHGRID")
+	uki, _ := g.Site("UKI-NORTHGRID")
+	if y != uki.WANGbps {
+		t.Errorf("same-region link = %g, want min WAN %g", y, uki.WANGbps)
+	}
+	if LinkGbps(g, "nope", "CERN-PROD") != 5 {
+		t.Error("unknown endpoint should get default bandwidth")
+	}
+	if LinkGbps(g, "nope", "nope") != 10 {
+		t.Error("unknown local link should get default LAN")
+	}
+}
+
+func TestSitesByTierSorted(t *testing.T) {
+	g := Default(DefaultSpec{})
+	t2 := g.SitesByTier(Tier2)
+	for i := 1; i < len(t2); i++ {
+		if t2[i-1] > t2[i] {
+			t.Fatal("SitesByTier not sorted")
+		}
+	}
+}

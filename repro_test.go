@@ -1,0 +1,32 @@
+// Acceptance test: the default paper-scale run must pass every qualitative
+// shape check against the paper's reported results. This is the same gate
+// cmd/repro enforces, wired into `go test ./...` so a release cannot ship
+// with a broken reproduction.
+package panrucio_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperReproductionShapeChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run skipped in -short mode")
+	}
+	s := sharedSuite()
+	for _, line := range s.ShapeChecks() {
+		if strings.HasPrefix(line, "[FAIL]") {
+			t.Error(line)
+		} else {
+			t.Log(line)
+		}
+	}
+	// Headline bands (paper: 1.92 % of task-carrying transfers, 0.82 % of
+	// jobs; we accept the same order of magnitude).
+	if pct := s.Cmp.Exact.MatchedTransferPct(); pct < 0.5 || pct > 8 {
+		t.Errorf("exact matched-transfer pct %.2f outside the plausible band", pct)
+	}
+	if pct := s.Cmp.Exact.MatchedJobPct(); pct < 0.2 || pct > 5 {
+		t.Errorf("exact matched-job pct %.2f outside the plausible band", pct)
+	}
+}
