@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	analyze [-seed N] [-days N] [-quick] [-csv] -exp <id>
+//	analyze [-seed N] [-days N] [-quick] [-csv] [-workers N] -exp <id>
 //
 // where <id> is one of: summary, fig2, fig3, table1, table2a, table2b,
 // fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, checks, all — plus
@@ -31,6 +31,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced quick scenario")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables where applicable")
 	exp := flag.String("exp", "all", "experiment id (summary, fig2..fig12, table1, table2a, table2b, checks, all)")
+	workers := flag.Int("workers", 0, "matcher worker goroutines (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	cfg := sim.PaperConfig(*seed)
@@ -38,7 +39,7 @@ func main() {
 		cfg = sim.QuickConfig(*seed)
 	}
 	cfg.Days = *days
-	s := experiments.Run(cfg)
+	s := experiments.RunWorkers(cfg, *workers)
 
 	emit := func(t *report.Table) {
 		if *csv {

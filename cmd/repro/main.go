@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-days N]
+//	repro [-seed N] [-days N] [-workers N]
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	days := flag.Int("days", 8, "study-window length in days (paper: 8)")
+	workers := flag.Int("workers", 0, "matcher worker goroutines (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	cfg := sim.PaperConfig(*seed)
@@ -31,8 +32,9 @@ func main() {
 
 	fmt.Printf("panrucio repro: %d-day window, seed %d\n", *days, *seed)
 	start := time.Now()
-	s := experiments.Run(cfg)
-	fmt.Printf("simulation + matching completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+	s := experiments.RunWorkers(cfg, *workers)
+	fmt.Printf("simulation + matching (%d worker(s)) completed in %v\n\n",
+		s.Workers, time.Since(start).Round(time.Millisecond))
 
 	fmt.Print(s.RenderAll())
 

@@ -1,0 +1,3 @@
+module panrucio
+
+go 1.24

@@ -124,7 +124,8 @@ func TopRoutes(events []*records.TransferEvent, local bool, k int) []Route {
 
 // BandwidthFigure builds the Fig. 7 (remote) or Fig. 8 (local) panels: the
 // top-k routes of the requested locality with their binned bandwidth
-// series.
+// series. The window is resolved against the metastore's StartedAt index
+// (a binary-search range slice), not a scan of the event log.
 func BandwidthFigure(store *metastore.Store, local bool, k int, from, to, bucket simtime.VTime) []*report.Series {
 	events := store.Transfers(from, to)
 	routes := TopRoutes(events, local, k)

@@ -38,7 +38,8 @@ type HeatmapCellStat struct {
 
 // BuildHeatmap accumulates transfer volume per directed site pair within
 // [from, to). It reads the raw event stream — like the paper's Fig. 3, it
-// does not require matching.
+// does not require matching — through the metastore's StartedAt index, so
+// narrow windows only touch the events they contain.
 func BuildHeatmap(store *metastore.Store, grid *topology.Grid, from, to simtime.VTime) *Heatmap {
 	n := grid.NumAxes()
 	h := &Heatmap{Grid: grid, Cells: make([][]float64, n)}

@@ -27,7 +27,8 @@ func (r ActivityRow) Pct() float64 {
 
 // ActivityBreakdown computes Table 1 from an exact-matching result: the
 // per-activity split of matched transfers against all task-carrying
-// transfers in the store.
+// transfers in the store. The denominators come from the metastore's
+// ingest-time activity counters rather than a scan of the event log.
 func ActivityBreakdown(store *metastore.Store, res *core.Result) []ActivityRow {
 	matched := map[records.Activity]int{}
 	seen := map[int64]bool{}
@@ -39,12 +40,7 @@ func ActivityBreakdown(store *metastore.Store, res *core.Result) []ActivityRow {
 			}
 		}
 	}
-	total := map[records.Activity]int{}
-	for _, ev := range store.Transfers(0, 0) {
-		if ev.HasTaskID() {
-			total[ev.Activity]++
-		}
-	}
+	total := store.TaskTransfersByActivity()
 	var rows []ActivityRow
 	for _, a := range records.JobActivities {
 		rows = append(rows, ActivityRow{Activity: a, Matched: matched[a], Total: total[a]})
@@ -80,10 +76,16 @@ type MethodComparison struct {
 
 // CompareMethods runs all three strategies over the same job set.
 func CompareMethods(m *core.Matcher, jobs []*records.JobRecord) *MethodComparison {
+	return CompareMethodsParallel(m, jobs, 1)
+}
+
+// CompareMethodsParallel is CompareMethods with each pass sharded across
+// workers (<= 0 selects GOMAXPROCS; 1 runs inline).
+func CompareMethodsParallel(m *core.Matcher, jobs []*records.JobRecord, workers int) *MethodComparison {
 	return &MethodComparison{
-		Exact: m.Run(jobs, core.Exact),
-		RM1:   m.Run(jobs, core.RM1),
-		RM2:   m.Run(jobs, core.RM2),
+		Exact: m.RunParallel(jobs, core.Exact, workers),
+		RM1:   m.RunParallel(jobs, core.RM1, workers),
+		RM2:   m.RunParallel(jobs, core.RM2, workers),
 	}
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"panrucio/internal/core"
 	"panrucio/internal/records"
@@ -53,36 +54,43 @@ var DefaultThresholds = []float64{1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 60, 75, 9
 
 // ThresholdCurves is the Fig. 9 dataset: for each status combination, the
 // cumulative count of matched jobs whose transfer-time percentage is below
-// each threshold, plus the combination totals.
+// each threshold, plus the combination totals. Percentages are kept as
+// sorted indices so every threshold query is a binary search rather than a
+// rescan of the match set.
 type ThresholdCurves struct {
 	Thresholds []float64
 	// Counts[combo][i] = jobs of that combo with transfer-time % < Thresholds[i].
 	Counts [4][]int
 	Totals [4]int
 
-	// pcts retains every matched job's transfer-time percentage so
-	// AboveThreshold works for arbitrary cut-offs.
+	// pcts holds every matched job's transfer-time percentage in ascending
+	// order so AboveThreshold works for arbitrary cut-offs.
 	pcts []float64
 }
 
-// BuildThresholdCurves computes Fig. 9 from an exact-matching result.
+// BuildThresholdCurves computes Fig. 9 from an exact-matching result: one
+// pass to collect per-combo percentages, one sort per combo, and a binary
+// search per configured threshold.
 func BuildThresholdCurves(res *core.Result, thresholds []float64) *ThresholdCurves {
 	if len(thresholds) == 0 {
 		thresholds = DefaultThresholds
 	}
 	tc := &ThresholdCurves{Thresholds: thresholds}
-	for c := range tc.Counts {
-		tc.Counts[c] = make([]int, len(thresholds))
-	}
+	var byCombo [4][]float64
 	for _, m := range res.Matches {
 		combo := comboOf(m.Job)
 		pct := 100 * m.QueueTransferFraction()
-		tc.Totals[combo]++
+		byCombo[combo] = append(byCombo[combo], pct)
 		tc.pcts = append(tc.pcts, pct)
+	}
+	sort.Float64s(tc.pcts)
+	for c := range byCombo {
+		sort.Float64s(byCombo[c])
+		tc.Totals[c] = len(byCombo[c])
+		tc.Counts[c] = make([]int, len(thresholds))
 		for i, th := range thresholds {
-			if pct < th {
-				tc.Counts[combo][i]++
-			}
+			// First index with pct >= th is also the count of pcts < th.
+			tc.Counts[c][i] = sort.SearchFloat64s(byCombo[c], th)
 		}
 	}
 	return tc
@@ -90,15 +98,10 @@ func BuildThresholdCurves(res *core.Result, thresholds []float64) *ThresholdCurv
 
 // AboveThreshold counts matched jobs (all combos) with transfer-time
 // percentage >= th — the paper's "72 jobs above 75 %" observation. Any
-// cut-off works, not just configured thresholds.
+// cut-off works, not just configured thresholds; each query is one binary
+// search over the sorted percentages.
 func (tc *ThresholdCurves) AboveThreshold(th float64) int {
-	n := 0
-	for _, p := range tc.pcts {
-		if p >= th {
-			n++
-		}
-	}
-	return n
+	return len(tc.pcts) - sort.SearchFloat64s(tc.pcts, th)
 }
 
 // SuccessCount is the number of matched jobs that finished (both combos

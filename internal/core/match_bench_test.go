@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"panrucio/internal/metastore"
+	"panrucio/internal/records"
+	"panrucio/internal/simtime"
+)
+
+// benchStore builds a store shaped like the paper's workload: tasks whose
+// candidate transfer lists grow with jobs-per-task × files-per-job, so the
+// nested loop pays O(files × candidates) per job while the index pays
+// O(files).
+func benchStore(tasks, jobsPerTask, filesPerJob int) (*metastore.Store, []*records.JobRecord) {
+	store := metastore.New()
+	var jobs []*records.JobRecord
+	eventID := int64(1)
+	for t := 1; t <= tasks; t++ {
+		for jn := 0; jn < jobsPerTask; jn++ {
+			j := &records.JobRecord{
+				PandaID: int64(t*10000 + jn), JediTaskID: int64(t),
+				ComputingSite: "CERN-PROD", Label: records.LabelUser,
+				CreationTime: 1000, StartTime: 2000, EndTime: 9000,
+				Status: records.JobFinished, TaskStatus: records.TaskDone,
+			}
+			var inBytes int64
+			for fn := 0; fn < filesPerJob; fn++ {
+				f := &records.FileRecord{
+					PandaID: j.PandaID, JediTaskID: j.JediTaskID,
+					LFN:   fmt.Sprintf("t%d.j%d.f%d", t, jn, fn),
+					Scope: "data25", Dataset: fmt.Sprintf("ds%d", t), ProdDBlock: fmt.Sprintf("ds%d", t),
+					FileSize: int64(1e9 + fn), Kind: records.FileInput,
+				}
+				inBytes += f.FileSize
+				store.PutFile(f)
+				store.PutTransfer(&records.TransferEvent{
+					EventID: eventID, LFN: f.LFN, Scope: f.Scope,
+					Dataset: f.Dataset, ProdDBlock: f.ProdDBlock, FileSize: f.FileSize,
+					SourceSite: "CERN-PROD", DestinationSite: "CERN-PROD",
+					Activity: records.AnalysisDownload, IsDownload: true,
+					JediTaskID: j.JediTaskID,
+					StartedAt:  simtime.VTime(1200 + fn*10), EndedAt: simtime.VTime(1300 + fn*10),
+				})
+				eventID++
+			}
+			j.NInputFileBytes = inBytes
+			store.PutJob(j)
+			jobs = append(jobs, j)
+		}
+	}
+	store.Freeze()
+	return store, jobs
+}
+
+// BenchmarkMatchRunIndexed is the indexed fast path over a 50-task,
+// 40-jobs-per-task, 8-files-per-job store (2,000 jobs, 16,000 events;
+// candidate lists of 320 events per task).
+func BenchmarkMatchRunIndexed(b *testing.B) {
+	store, jobs := benchStore(50, 40, 8)
+	m := NewMatcher(store)
+	b.ResetTimer()
+	var matched int
+	for i := 0; i < b.N; i++ {
+		matched = m.Run(jobs, Exact).MatchedJobs
+	}
+	b.ReportMetric(float64(matched), "matched_jobs")
+}
+
+// BenchmarkMatchRunReference is the same pass through the retained
+// nested-loop oracle — the before side of the speedup recorded in
+// CHANGES.md.
+func BenchmarkMatchRunReference(b *testing.B) {
+	store, jobs := benchStore(50, 40, 8)
+	m := NewMatcher(store)
+	b.ResetTimer()
+	var matched int
+	for i := 0; i < b.N; i++ {
+		matched = m.runReference(jobs, Exact).MatchedJobs
+	}
+	b.ReportMetric(float64(matched), "matched_jobs")
+}
+
+// BenchmarkMatchRunParallel measures the sharded pipeline at 4 workers on
+// the indexed path.
+func BenchmarkMatchRunParallel(b *testing.B) {
+	store, jobs := benchStore(50, 40, 8)
+	m := NewMatcher(store)
+	b.ResetTimer()
+	var matched int
+	for i := 0; i < b.N; i++ {
+		matched = m.RunParallel(jobs, Exact, 4).MatchedJobs
+	}
+	b.ReportMetric(float64(matched), "matched_jobs")
+}

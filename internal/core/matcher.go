@@ -186,36 +186,55 @@ func NewMatcher(store *metastore.Store) *Matcher { return &Matcher{store: store}
 // MatchJob applies the chosen strategy to one job and returns its matched
 // transfer events (nil when unmatched). This is Algorithm 1 with the
 // RM1/RM2 relaxations switchable.
+//
+// Candidate generation probes the metastore's per-task composite join-key
+// index with each JEDI file row instead of scanning the task's whole
+// candidate list per row (the original nested loop survives as
+// matchJobReference, the oracle of the equivalence tests). A transfer
+// matched by more than one file row is kept once, preserving Exact's
+// whole-set size-sum semantics.
 func (m *Matcher) MatchJob(j *records.JobRecord, method Method) []*records.TransferEvent {
-	files := m.store.FilesForJob(j.PandaID, j.JediTaskID) // F'_j
-	if len(files) == 0 {
+	entries := m.store.JoinEntriesForJob(j.PandaID, j.JediTaskID) // F'_j with buckets bound
+	if len(entries) == 0 {
 		return nil
 	}
-	// Candidate transfers share the task's jeditaskid (the pre-selection
-	// that defines the paper's "transfers with a valid jeditaskid"
-	// denominator) and join on the shared file attributes.
-	candidates := m.store.TransfersByTaskID(j.JediTaskID)
-	if len(candidates) == 0 {
-		return nil
-	}
+	// Candidate buckets only hold transfers with a valid jeditaskid — the
+	// pre-selection that defines the paper's denominator — and are already
+	// join-key-matched, so only the method-dependent size check remains.
 	var set []*records.TransferEvent
-	for _, f := range files {
-		for _, ev := range candidates {
-			if ev.LFN != f.LFN || ev.Scope != f.Scope ||
-				ev.Dataset != f.Dataset || ev.ProdDBlock != f.ProdDBlock {
+	for _, e := range entries {
+		for _, ev := range e.Candidates {
+			if method == Exact && ev.FileSize != e.File.FileSize {
 				continue
 			}
-			if method == Exact && ev.FileSize != f.FileSize {
+			if containsEvent(set, ev.EventID) {
 				continue
 			}
 			set = append(set, ev)
 		}
 	}
+	return finalizeSet(j, method, set)
+}
+
+// containsEvent reports whether the candidate set already holds the event.
+// Matched sets are small (a job's file count), so a linear scan beats a
+// per-job map allocation.
+func containsEvent(set []*records.TransferEvent, id int64) bool {
+	for _, ev := range set {
+		if ev.EventID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// finalizeSet applies the whole-set filtering of paper Section 4.2 to a
+// candidate set. It is shared by the indexed matcher and the nested-loop
+// reference so the two can only diverge in candidate generation.
+func finalizeSet(j *records.JobRecord, method Method, set []*records.TransferEvent) []*records.TransferEvent {
 	if len(set) == 0 {
 		return nil
 	}
-
-	// Final filtering, treating the set as a whole (paper Section 4.2).
 	var kept []*records.TransferEvent
 	for _, ev := range set {
 		if ev.StartedAt >= j.EndTime {
@@ -288,44 +307,11 @@ func (r *Result) MatchedJobPct() float64 {
 	return 100 * float64(r.MatchedJobs) / float64(r.TotalJobs)
 }
 
-// Run applies one strategy to a job set and aggregates the outcome.
+// Run applies one strategy to a job set and aggregates the outcome. It is
+// the single-worker case of the sharded streaming pipeline in parallel.go;
+// Matches come back ordered by pandaid.
 func (m *Matcher) Run(jobs []*records.JobRecord, method Method) *Result {
-	res := &Result{
-		Method:              method,
-		TotalJobs:           len(jobs),
-		TotalTransfers:      m.store.TransferCount(),
-		TransfersWithTaskID: m.store.TransfersWithTaskID(),
-	}
-	seen := make(map[int64]bool)
-	for _, j := range jobs {
-		evs := m.MatchJob(j, method)
-		if len(evs) == 0 {
-			continue
-		}
-		match := Match{Job: j, Transfers: evs}
-		res.Matches = append(res.Matches, match)
-		res.MatchedJobs++
-		for _, ev := range evs {
-			if !seen[ev.EventID] {
-				seen[ev.EventID] = true
-				res.MatchedTransfers++
-				if ev.IsLocal() {
-					res.LocalTransfers++
-				} else {
-					res.RemoteTransfers++
-				}
-			}
-		}
-		switch match.Class() {
-		case AllLocal:
-			res.JobsAllLocal++
-		case AllRemote:
-			res.JobsAllRemote++
-		default:
-			res.JobsMixed++
-		}
-	}
-	return res
+	return m.run(jobs, method, 1)
 }
 
 // RedundantGroup is a set of ≥2 matched transfers moving the same file

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"panrucio/internal/analysis"
@@ -25,17 +26,31 @@ type Suite struct {
 	Result *sim.Result
 	Jobs   []*records.JobRecord // user jobs completed in the window
 	Cmp    *analysis.MethodComparison
+
+	// Workers is the effective matcher fan-out the suite was built with
+	// (1 = serial; a <= 0 request resolves to GOMAXPROCS).
+	Workers int
 }
 
-// Run executes the scenario and the three matching passes.
-func Run(cfg sim.Config) *Suite {
+// Run executes the scenario and the three matching passes serially.
+func Run(cfg sim.Config) *Suite { return RunWorkers(cfg, 1) }
+
+// RunWorkers executes the scenario and shards each matching pass across
+// workers (<= 0 selects GOMAXPROCS). Results are identical to Run's; this
+// is the entry point behind the -workers flag of cmd/repro and
+// cmd/analyze.
+func RunWorkers(cfg sim.Config, workers int) *Suite {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	res := sim.Run(cfg)
 	jobs := res.Store.Jobs(res.WindowFrom, res.WindowTo, records.LabelUser)
 	m := core.NewMatcher(res.Store)
 	return &Suite{
-		Result: res,
-		Jobs:   jobs,
-		Cmp:    analysis.CompareMethods(m, jobs),
+		Result:  res,
+		Jobs:    jobs,
+		Cmp:     analysis.CompareMethodsParallel(m, jobs, workers),
+		Workers: workers,
 	}
 }
 

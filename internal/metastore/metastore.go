@@ -3,14 +3,57 @@
 // the time-windowed queries the paper's analysis workflow (Fig. 4) issues.
 // Records are immutable once ingested; all queries return the stored
 // pointers, so callers must not mutate results.
+//
+// Ingestion is append-only: the Put* methods maintain the hash indices
+// (by-id, by-LFN, by-task, and the composite join-key indices Algorithm 1
+// probes) and the cached counters incrementally. The sorted time indices
+// behind the ranged queries Jobs and Transfers are built by Freeze, which
+// runs automatically on the first ranged query after an ingest; once
+// frozen, ranged queries are binary-search slices with no per-call
+// allocation beyond the label filter.
+//
+// The store is safe for concurrent readers after Freeze (the matcher's
+// sharded pipeline relies on this); ingestion must not run concurrently
+// with queries.
 package metastore
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"panrucio/internal/records"
 	"panrucio/internal/simtime"
 )
+
+// JoinKey is the composite join key shared by JEDI file rows and transfer
+// events: the equality attributes of Algorithm 1 minus file size, which is
+// method-dependent (Exact checks it, RM1/RM2 relax it) and therefore left
+// to the matcher.
+type JoinKey struct {
+	LFN        string
+	Scope      string
+	Dataset    string
+	ProdDBlock string
+}
+
+// FileKey is the join key of a JEDI file row.
+func FileKey(f *records.FileRecord) JoinKey {
+	return JoinKey{LFN: f.LFN, Scope: f.Scope, Dataset: f.Dataset, ProdDBlock: f.ProdDBlock}
+}
+
+// EventKey is the join key of a transfer event.
+func EventKey(ev *records.TransferEvent) JoinKey {
+	return JoinKey{LFN: ev.LFN, Scope: ev.Scope, Dataset: ev.Dataset, ProdDBlock: ev.ProdDBlock}
+}
+
+// taskKey scopes a join key to one JEDI task — the probe the matcher
+// issues per file row, since candidate transfers must also carry the
+// job's jeditaskid.
+type taskKey struct {
+	task int64
+	key  JoinKey
+}
 
 // Store holds the three metadata indices.
 type Store struct {
@@ -22,15 +65,42 @@ type Store struct {
 	filesByPanda map[int64][]*records.FileRecord
 	evByLFN      map[string][]*records.TransferEvent
 	evByTask     map[int64][]*records.TransferEvent
+
+	// Composite join-key indices, maintained at ingest. Within a bucket,
+	// events stay in ingestion order, which keeps the indexed matcher's
+	// candidate order identical to the reference nested loop's.
+	evByKey     map[JoinKey][]*records.TransferEvent
+	evByTaskKey map[taskKey][]*records.TransferEvent
+
+	// Cached counters, maintained on PutTransfer.
+	withTaskID     int
+	taskByActivity map[records.Activity]int
+
+	// Sorted time indices, built by Freeze. jobsByEnd is ordered by
+	// EndTime, evByStart by StartedAt (ties keep ingestion order).
+	jobsByEnd []*records.JobRecord
+	evByStart []*records.TransferEvent
+
+	// entriesByJob holds each (pandaid, jeditaskid) group of file rows
+	// with their task-scoped join buckets pre-resolved at Freeze, so a
+	// matching probe is a single int-pair lookup plus slice scans — no
+	// string hashing and no allocation on the hot path.
+	entriesByJob map[pandaTask][]JoinEntry
+
+	frozen   atomic.Bool
+	freezeMu sync.Mutex
 }
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		jobsByID:     make(map[int64]*records.JobRecord),
-		filesByPanda: make(map[int64][]*records.FileRecord),
-		evByLFN:      make(map[string][]*records.TransferEvent),
-		evByTask:     make(map[int64][]*records.TransferEvent),
+		jobsByID:       make(map[int64]*records.JobRecord),
+		filesByPanda:   make(map[int64][]*records.FileRecord),
+		evByLFN:        make(map[string][]*records.TransferEvent),
+		evByTask:       make(map[int64][]*records.TransferEvent),
+		evByKey:        make(map[JoinKey][]*records.TransferEvent),
+		evByTaskKey:    make(map[taskKey][]*records.TransferEvent),
+		taskByActivity: make(map[records.Activity]int),
 	}
 }
 
@@ -40,21 +110,87 @@ func New() *Store {
 func (s *Store) PutJob(j *records.JobRecord) {
 	s.jobs = append(s.jobs, j)
 	s.jobsByID[j.PandaID] = j
+	s.frozen.Store(false)
 }
 
 // PutFile ingests a JEDI file-table row.
 func (s *Store) PutFile(f *records.FileRecord) {
 	s.files = append(s.files, f)
 	s.filesByPanda[f.PandaID] = append(s.filesByPanda[f.PandaID], f)
+	s.frozen.Store(false)
 }
 
 // PutTransfer ingests a transfer event.
 func (s *Store) PutTransfer(ev *records.TransferEvent) {
 	s.transfers = append(s.transfers, ev)
 	s.evByLFN[ev.LFN] = append(s.evByLFN[ev.LFN], ev)
+	key := EventKey(ev)
+	s.evByKey[key] = append(s.evByKey[key], ev)
 	if ev.JediTaskID != 0 {
 		s.evByTask[ev.JediTaskID] = append(s.evByTask[ev.JediTaskID], ev)
+		s.evByTaskKey[taskKey{ev.JediTaskID, key}] = append(s.evByTaskKey[taskKey{ev.JediTaskID, key}], ev)
+		s.withTaskID++
+		s.taskByActivity[ev.Activity]++
 	}
+	s.frozen.Store(false)
+}
+
+// Freeze builds the sorted time indices. It is idempotent, runs implicitly
+// on the first ranged query after an ingest, and is safe to call from
+// concurrent readers; calling it eagerly (as sim.Run does) keeps the query
+// path lock-free.
+func (s *Store) Freeze() {
+	if s.frozen.Load() {
+		return
+	}
+	s.freezeMu.Lock()
+	defer s.freezeMu.Unlock()
+	if s.frozen.Load() {
+		return
+	}
+	// Fresh arrays every build: ranged queries alias these, so a rebuild
+	// after further ingestion must not sort under slices already handed
+	// out to callers.
+	s.jobsByEnd = append([]*records.JobRecord(nil), s.jobs...)
+	sort.SliceStable(s.jobsByEnd, func(i, k int) bool {
+		return s.jobsByEnd[i].EndTime < s.jobsByEnd[k].EndTime
+	})
+	s.evByStart = append([]*records.TransferEvent(nil), s.transfers...)
+	sort.SliceStable(s.evByStart, func(i, k int) bool {
+		return s.evByStart[i].StartedAt < s.evByStart[k].StartedAt
+	})
+	s.entriesByJob = make(map[pandaTask][]JoinEntry, len(s.filesByPanda))
+	for _, f := range s.files {
+		k := pandaTask{f.PandaID, f.JediTaskID}
+		s.entriesByJob[k] = append(s.entriesByJob[k], JoinEntry{
+			File:       f,
+			Candidates: s.evByTaskKey[taskKey{f.JediTaskID, FileKey(f)}],
+		})
+	}
+	s.frozen.Store(true)
+}
+
+// pandaTask identifies one job's file-row group: JEDI file rows carry both
+// ids, and Algorithm 1's F'_j subset filters on the pair.
+type pandaTask struct {
+	panda, task int64
+}
+
+// JoinEntry pairs one JEDI file row with its pre-resolved candidate
+// transfers: the events of the row's task that share its composite join
+// key, in ingestion order. Both fields are read-only for callers.
+type JoinEntry struct {
+	File       *records.FileRecord
+	Candidates []*records.TransferEvent
+}
+
+// JoinEntriesForJob returns the job's file rows (Algorithm 1's F'_j) with
+// their join buckets resolved — the matcher's per-job probe. The groups
+// and buckets are bound at Freeze, so the call does no join-key hashing
+// and no allocation.
+func (s *Store) JoinEntriesForJob(pandaID, jediTaskID int64) []JoinEntry {
+	s.Freeze()
+	return s.entriesByJob[pandaTask{pandaID, jediTaskID}]
 }
 
 // Counts of ingested records.
@@ -63,33 +199,45 @@ func (s *Store) FileCount() int     { return len(s.files) }
 func (s *Store) TransferCount() int { return len(s.transfers) }
 
 // TransfersWithTaskID counts events that retained a valid jeditaskid (the
-// paper's 1,585,229 of 6,784,936).
-func (s *Store) TransfersWithTaskID() int {
-	n := 0
-	for _, ev := range s.transfers {
-		if ev.HasTaskID() {
-			n++
-		}
+// paper's 1,585,229 of 6,784,936). The counter is maintained at ingest.
+func (s *Store) TransfersWithTaskID() int { return s.withTaskID }
+
+// TaskTransfersByActivity returns the per-activity counts of events
+// carrying a jeditaskid — Table 1's denominators, cached at ingest.
+func (s *Store) TaskTransfersByActivity() map[records.Activity]int {
+	out := make(map[records.Activity]int, len(s.taskByActivity))
+	for a, n := range s.taskByActivity {
+		out[a] = n
 	}
-	return n
+	return out
 }
 
 // Jobs returns the jobs with EndTime in [from, to) and the given label
 // ("" = any), sorted by pandaid. This mirrors the paper's query semantics:
-// only jobs completed inside the window are reported.
+// only jobs completed inside the window are reported. The window is
+// resolved by binary search over the EndTime index.
 func (s *Store) Jobs(from, to simtime.VTime, label records.SourceLabel) []*records.JobRecord {
+	s.Freeze()
+	seg := timeRange(s.jobsByEnd, from, to, func(j *records.JobRecord) simtime.VTime { return j.EndTime })
 	var out []*records.JobRecord
-	for _, j := range s.jobs {
-		if j.EndTime < from || j.EndTime >= to {
-			continue
+	for _, j := range seg {
+		if label == "" || j.Label == label {
+			out = append(out, j)
 		}
-		if label != "" && j.Label != label {
-			continue
-		}
-		out = append(out, j)
 	}
-	sort.Slice(out, func(i, k int) bool { return out[i].PandaID < out[k].PandaID })
+	sort.SliceStable(out, func(i, k int) bool { return out[i].PandaID < out[k].PandaID })
 	return out
+}
+
+// timeRange cuts the half-open [from, to) window out of a slice sorted by
+// the time key that at extracts.
+func timeRange[T any](sorted []T, from, to simtime.VTime, at func(T) simtime.VTime) []T {
+	lo := sort.Search(len(sorted), func(i int) bool { return at(sorted[i]) >= from })
+	hi := sort.Search(len(sorted), func(i int) bool { return at(sorted[i]) >= to })
+	if hi < lo {
+		hi = lo
+	}
+	return sorted[lo:hi]
 }
 
 // Job resolves a pandaid.
@@ -120,17 +268,28 @@ func (s *Store) TransfersByTaskID(jedi int64) []*records.TransferEvent {
 	return s.evByTask[jedi]
 }
 
+// TransfersByKey returns the events sharing one composite join key, in
+// ingestion order.
+func (s *Store) TransfersByKey(key JoinKey) []*records.TransferEvent {
+	return s.evByKey[key]
+}
+
+// TaskTransfersByKey returns the events of one JEDI task sharing the join
+// key — the per-file probe of the indexed matcher. Events without a valid
+// jeditaskid are never in this index, preserving the paper's
+// "transfers with a valid jeditaskid" pre-selection.
+func (s *Store) TaskTransfersByKey(jedi int64, key JoinKey) []*records.TransferEvent {
+	return s.evByTaskKey[taskKey{jedi, key}]
+}
+
 // Transfers returns events with StartedAt in [from, to); from==to==0 means
-// everything. Events are returned in ingestion order.
+// everything. Events are ordered by StartedAt (ties in ingestion order);
+// the window is resolved by binary search over the StartedAt index and the
+// returned slice aliases the index, so callers must not modify it.
 func (s *Store) Transfers(from, to simtime.VTime) []*records.TransferEvent {
+	s.Freeze()
 	if from == 0 && to == 0 {
-		return s.transfers
+		return s.evByStart
 	}
-	var out []*records.TransferEvent
-	for _, ev := range s.transfers {
-		if ev.StartedAt >= from && ev.StartedAt < to {
-			out = append(out, ev)
-		}
-	}
-	return out
+	return timeRange(s.evByStart, from, to, func(ev *records.TransferEvent) simtime.VTime { return ev.StartedAt })
 }

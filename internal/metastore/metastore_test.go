@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"panrucio/internal/records"
+	"panrucio/internal/simtime"
 )
 
 func TestJobQueriesWindowAndLabel(t *testing.T) {
@@ -78,6 +79,131 @@ func TestTransferIndexes(t *testing.T) {
 	}
 	if s.TransferCount() != 3 {
 		t.Error("TransferCount wrong")
+	}
+}
+
+func TestJoinKeyIndices(t *testing.T) {
+	s := New()
+	key := JoinKey{LFN: "f1", Scope: "data25", Dataset: "ds", ProdDBlock: "pb"}
+	mk := func(id, task int64) *records.TransferEvent {
+		return &records.TransferEvent{
+			EventID: id, LFN: key.LFN, Scope: key.Scope, Dataset: key.Dataset,
+			ProdDBlock: key.ProdDBlock, JediTaskID: task,
+			Activity: records.AnalysisDownload,
+		}
+	}
+	s.PutTransfer(mk(1, 5))
+	s.PutTransfer(mk(2, 5))
+	s.PutTransfer(mk(3, 6))
+	s.PutTransfer(mk(4, 0)) // no jeditaskid: excluded from the task index
+	other := mk(5, 5)
+	other.Dataset = "other"
+	s.PutTransfer(other)
+
+	if got := s.TransfersByKey(key); len(got) != 4 {
+		t.Fatalf("TransfersByKey = %d events, want 4", len(got))
+	}
+	got := s.TaskTransfersByKey(5, key)
+	if len(got) != 2 || got[0].EventID != 1 || got[1].EventID != 2 {
+		t.Fatalf("TaskTransfersByKey(5) = %v, want events 1,2 in ingestion order", got)
+	}
+	if got := s.TaskTransfersByKey(6, key); len(got) != 1 || got[0].EventID != 3 {
+		t.Fatalf("TaskTransfersByKey(6) wrong: %v", got)
+	}
+	if got := s.TaskTransfersByKey(7, key); got != nil {
+		t.Errorf("phantom task bucket: %v", got)
+	}
+	f := &records.FileRecord{LFN: key.LFN, Scope: key.Scope, Dataset: key.Dataset, ProdDBlock: key.ProdDBlock}
+	if FileKey(f) != key || EventKey(mk(9, 1)) != key {
+		t.Error("FileKey/EventKey disagree with the composite key")
+	}
+	counts := s.TaskTransfersByActivity()
+	if counts[records.AnalysisDownload] != 4 {
+		t.Errorf("TaskTransfersByActivity = %v, want 4 task-carrying downloads", counts)
+	}
+	counts[records.AnalysisDownload] = 99 // callers get a copy
+	if s.TaskTransfersByActivity()[records.AnalysisDownload] != 4 {
+		t.Error("TaskTransfersByActivity exposed internal state")
+	}
+}
+
+func TestRangedQueriesMatchLinearScan(t *testing.T) {
+	s := New()
+	// StartedAt/EndTime values deliberately out of order and with ties.
+	starts := []simtime.VTime{50, 10, 30, 30, 90, 70, 10, 60}
+	for i, at := range starts {
+		s.PutTransfer(&records.TransferEvent{EventID: int64(i + 1), StartedAt: at})
+		s.PutJob(&records.JobRecord{PandaID: int64(i + 1), EndTime: at, Label: records.LabelUser})
+	}
+	windows := [][2]simtime.VTime{{0, 100}, {10, 30}, {30, 31}, {0, 10}, {95, 99}, {60, 50}}
+	for _, w := range windows {
+		from, to := w[0], w[1]
+		var wantEv int
+		for _, at := range starts {
+			if at >= from && at < to {
+				wantEv++
+			}
+		}
+		if got := len(s.Transfers(from, to)); got != wantEv {
+			t.Errorf("Transfers(%d,%d) = %d events, want %d", from, to, got, wantEv)
+		}
+		if got := len(s.Jobs(from, to, records.LabelUser)); got != wantEv {
+			t.Errorf("Jobs(%d,%d) = %d jobs, want %d", from, to, got, wantEv)
+		}
+	}
+	// Time-ordered output with ingestion-order ties.
+	all := s.Transfers(0, 100)
+	for i := 1; i < len(all); i++ {
+		if all[i-1].StartedAt > all[i].StartedAt {
+			t.Fatal("Transfers not ordered by StartedAt")
+		}
+		if all[i-1].StartedAt == all[i].StartedAt && all[i-1].EventID > all[i].EventID {
+			t.Fatal("StartedAt ties not in ingestion order")
+		}
+	}
+}
+
+func TestFreezeThenIngestRebuildsIndices(t *testing.T) {
+	s := New()
+	s.PutTransfer(&records.TransferEvent{EventID: 1, StartedAt: 10, JediTaskID: 1})
+	s.Freeze()
+	if got := len(s.Transfers(0, 100)); got != 1 {
+		t.Fatalf("pre-ingest window = %d", got)
+	}
+	// Ingest after freeze: the next ranged query must see the new event.
+	s.PutTransfer(&records.TransferEvent{EventID: 2, StartedAt: 5, JediTaskID: 2})
+	s.PutJob(&records.JobRecord{PandaID: 1, EndTime: 50})
+	got := s.Transfers(0, 100)
+	if len(got) != 2 || got[0].EventID != 2 {
+		t.Fatalf("post-ingest window = %v, want re-sorted [2 1]", got)
+	}
+	if len(s.Jobs(0, 100, "")) != 1 {
+		t.Error("job ingested after freeze not visible")
+	}
+	if s.TransfersWithTaskID() != 2 {
+		t.Errorf("cached taskid counter = %d", s.TransfersWithTaskID())
+	}
+}
+
+// TestRefreezeDoesNotCorruptHandedOutSlices: ranged-query results alias
+// the sorted index, so a rebuild after further ingestion must build a
+// fresh array rather than re-sorting under the caller's slice.
+func TestRefreezeDoesNotCorruptHandedOutSlices(t *testing.T) {
+	s := New()
+	for i := 1; i <= 8; i++ {
+		s.PutTransfer(&records.TransferEvent{EventID: int64(i), StartedAt: simtime.VTime(i * 10)})
+	}
+	window := s.Transfers(30, 60) // events 3,4,5
+	if len(window) != 3 {
+		t.Fatalf("window = %d events", len(window))
+	}
+	s.PutTransfer(&records.TransferEvent{EventID: 9, StartedAt: 5}) // re-sorts on next query
+	_ = s.Transfers(0, 100)
+	for i, want := range []int64{3, 4, 5} {
+		if window[i].EventID != want {
+			t.Fatalf("handed-out slice corrupted by re-freeze: window[%d] = event %d, want %d",
+				i, window[i].EventID, want)
+		}
 	}
 }
 

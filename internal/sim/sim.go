@@ -113,6 +113,10 @@ func Run(cfg Config) *Result {
 	}
 
 	eng.Run()
+	// Ingestion is complete: build the sorted time indices now so the
+	// analyses (and the matcher's parallel workers) start from a frozen,
+	// read-only store.
+	store.Freeze()
 
 	return &Result{
 		Config:         cfg,
