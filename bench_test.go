@@ -6,6 +6,7 @@
 package panrucio_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 	"panrucio/internal/core"
 	"panrucio/internal/experiments"
 	"panrucio/internal/sim"
+	"panrucio/internal/sweep"
 )
 
 // newMatcher builds a fresh matcher over the suite's store, so matching
@@ -195,6 +197,21 @@ func BenchmarkFig11CaseFailedJob(b *testing.B) {
 		}
 	}
 	b.ReportMetric(found, "found")
+}
+
+// BenchmarkSweep runs the E14 robustness grid (six quick scenarios,
+// corruption ramped 0%→50%) through the sweep engine at full fan-out and
+// reports sustained scenario throughput. Metric: scenarios/sec.
+func BenchmarkSweep(b *testing.B) {
+	scenarios := sweep.CorruptionRamp(sim.QuickConfig(1), sweep.DefaultRampRates())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := sweep.Run(scenarios, sweep.Options{Workers: runtime.GOMAXPROCS(0)})
+		if len(rep.Outcomes) != len(scenarios) {
+			b.Fatal("sweep dropped scenarios")
+		}
+	}
+	b.ReportMetric(float64(b.N*len(scenarios))/b.Elapsed().Seconds(), "scenarios/sec")
 }
 
 // BenchmarkFig12RM2Redundant locates the RM2 redundant-transfer case and

@@ -8,13 +8,16 @@
 // where <id> is one of: summary, fig2, fig3, table1, table2a, table2b,
 // fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, checks, all — plus
 // the extension studies: anomaly (automated anomaly scan), repair
-// (metadata-repair uplift), coopt (brokerage-policy comparison).
+// (metadata-repair uplift), coopt (brokerage-policy comparison), and e14
+// (the corruption-robustness sweep; cmd/sweep is the full front end).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"panrucio/internal/analysis"
 	"panrucio/internal/anomaly"
@@ -25,24 +28,99 @@ import (
 	"panrucio/internal/sim"
 )
 
-func main() {
-	seed := flag.Int64("seed", 1, "simulation seed")
-	days := flag.Int("days", 8, "study-window length in days")
-	quick := flag.Bool("quick", false, "use the reduced quick scenario")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables where applicable")
-	exp := flag.String("exp", "all", "experiment id (summary, fig2..fig12, table1, table2a, table2b, checks, all)")
-	workers := flag.Int("workers", 0, "matcher worker goroutines (0 = all cores, 1 = serial)")
-	flag.Parse()
+type options struct {
+	seed    int64
+	days    int
+	quick   bool
+	csv     bool
+	exp     string
+	workers int
+}
 
-	cfg := sim.PaperConfig(*seed)
-	if *quick {
-		cfg = sim.QuickConfig(*seed)
+// experimentIDs enumerates the valid -exp values, so a typo fails at flag
+// parsing instead of after the simulation has run.
+var experimentIDs = map[string]bool{
+	"summary": true, "fig2": true, "fig3": true, "table1": true,
+	"table2a": true, "table2b": true, "fig5": true, "fig6": true,
+	"fig7": true, "fig8": true, "fig9": true, "fig10": true,
+	"fig11": true, "fig12": true, "anomaly": true, "repair": true,
+	"coopt": true, "e14": true, "checks": true, "all": true,
+}
+
+// validExperiments lists the -exp ids in usage/error order.
+func validExperiments() string {
+	ids := make([]string, 0, len(experimentIDs))
+	for id := range experimentIDs {
+		ids = append(ids, id)
 	}
-	cfg.Days = *days
-	s := experiments.RunWorkers(cfg, *workers)
+	sort.Strings(ids)
+	return strings.Join(ids, ", ")
+}
+
+// parseFlags parses the command line into options; kept separate from main
+// so flag handling is testable without running a simulation.
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	fs.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	fs.IntVar(&o.days, "days", 8, "study-window length in days")
+	fs.BoolVar(&o.quick, "quick", false, "use the reduced quick scenario")
+	fs.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables where applicable")
+	fs.StringVar(&o.exp, "exp", "all", "experiment id: "+validExperiments())
+	fs.IntVar(&o.workers, "workers", 0, "matcher worker goroutines (0 = all cores, 1 = serial); for -exp e14, concurrent sweep scenarios")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if !experimentIDs[o.exp] {
+		return nil, fmt.Errorf("unknown experiment %q (want one of: %s)", o.exp, validExperiments())
+	}
+	if o.days <= 0 {
+		return nil, fmt.Errorf("-days must be positive, got %d", o.days)
+	}
+	if o.exp == "e14" {
+		// E14 runs the canned quick-scale sweep grid, not the single-suite
+		// pipeline: reject flags it would silently ignore.
+		var rejected []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "days", "quick", "csv":
+				rejected = append(rejected, "-"+f.Name)
+			}
+		})
+		if len(rejected) > 0 {
+			return nil, fmt.Errorf("%s not supported with -exp e14 (the sweep fixes its own scenarios; use cmd/sweep for more control)",
+				strings.Join(rejected, ", "))
+		}
+	}
+	return o, nil
+}
+
+// config builds the scenario the options select.
+func (o *options) config() sim.Config {
+	cfg := sim.PaperConfig(o.seed)
+	if o.quick {
+		cfg = sim.QuickConfig(o.seed)
+	}
+	cfg.Days = o.days
+	return cfg
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(2)
+	}
+	if o.exp == "e14" {
+		// E14 is a multi-scenario experiment: it runs its own sweep grid
+		// (cmd/sweep is the richer front end), not the single-suite pipeline.
+		fmt.Print(experiments.RobustnessSweep(o.seed, o.workers).Markdown())
+		return
+	}
+	s := experiments.RunWorkers(o.config(), o.workers)
 
 	emit := func(t *report.Table) {
-		if *csv {
+		if o.csv {
 			fmt.Print(t.CSV())
 		} else {
 			fmt.Println(t.Render())
@@ -59,7 +137,7 @@ func main() {
 		}
 	}
 
-	switch *exp {
+	switch o.exp {
 	case "summary":
 		emit(s.SummaryTable())
 	case "fig2":
@@ -105,7 +183,7 @@ func main() {
 			up.Before.MatchedTransfers, up.After.MatchedTransfers, up.TransferGain))
 		emit(t)
 	case "coopt":
-		cc := coopt.ContentionConfig(*seed, 2, 0.01)
+		cc := coopt.ContentionConfig(o.seed, 2, 0.01)
 		emit(coopt.Table(coopt.Compare(cc, coopt.DefaultPolicies())))
 	case "checks":
 		for _, line := range s.ShapeChecks() {
@@ -117,8 +195,8 @@ func main() {
 			fmt.Println(line)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "analyze: unknown experiment %q\n", *exp)
-		flag.Usage()
+		// Unreachable: parseFlags validated o.exp against experimentIDs.
+		fmt.Fprintf(os.Stderr, "analyze: unhandled experiment %q\n", o.exp)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,65 @@
+package main
+
+import "testing"
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.seed != 1 || o.days != 8 || o.quick || o.csv || o.exp != "all" || o.workers != 0 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestParseFlagsAcceptsEveryExperimentID(t *testing.T) {
+	for id := range experimentIDs {
+		if _, err := parseFlags([]string{"-exp", id}); err != nil {
+			t.Errorf("-exp %s rejected: %v", id, err)
+		}
+	}
+}
+
+func TestParseFlagsRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "fig99"},
+		{"-exp", ""},
+		{"-days", "0"},
+		{"-workers", "x"},
+		{"-nope"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+func TestE14RejectsFlagsItWouldIgnore(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "e14", "-days", "4"},
+		{"-exp", "e14", "-quick"},
+		{"-exp", "e14", "-csv"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("args %v accepted, but e14 would silently ignore them", args)
+		}
+	}
+	// -seed and -workers are honored by the sweep and must stay accepted.
+	if _, err := parseFlags([]string{"-exp", "e14", "-seed", "3", "-workers", "2"}); err != nil {
+		t.Errorf("e14 with -seed/-workers rejected: %v", err)
+	}
+}
+
+func TestQuickFlagSelectsQuickScenario(t *testing.T) {
+	o, err := parseFlags([]string{"-quick", "-seed", "3", "-days", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := o.config()
+	if cfg.Seed != 3 || cfg.Days != 2 {
+		t.Errorf("config lost the overrides: %+v", cfg)
+	}
+	if cfg.Workload.InitialDatasets == 0 {
+		t.Error("-quick did not select the reduced scenario")
+	}
+}

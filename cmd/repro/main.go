@@ -21,18 +21,46 @@ import (
 	"panrucio/internal/sim"
 )
 
+type options struct {
+	seed    int64
+	days    int
+	workers int
+}
+
+// parseFlags parses the command line into options; kept separate from main
+// so flag handling is testable without spawning the paper-scale run.
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	fs.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	fs.IntVar(&o.days, "days", 8, "study-window length in days (paper: 8)")
+	fs.IntVar(&o.workers, "workers", 0, "matcher worker goroutines (0 = all cores, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.days <= 0 {
+		return nil, fmt.Errorf("-days must be positive, got %d", o.days)
+	}
+	return o, nil
+}
+
+// config builds the scenario the options select.
+func (o *options) config() sim.Config {
+	cfg := sim.PaperConfig(o.seed)
+	cfg.Days = o.days
+	return cfg
+}
+
 func main() {
-	seed := flag.Int64("seed", 1, "simulation seed")
-	days := flag.Int("days", 8, "study-window length in days (paper: 8)")
-	workers := flag.Int("workers", 0, "matcher worker goroutines (0 = all cores, 1 = serial)")
-	flag.Parse()
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(2)
+	}
 
-	cfg := sim.PaperConfig(*seed)
-	cfg.Days = *days
-
-	fmt.Printf("panrucio repro: %d-day window, seed %d\n", *days, *seed)
+	fmt.Printf("panrucio repro: %d-day window, seed %d\n", o.days, o.seed)
 	start := time.Now()
-	s := experiments.RunWorkers(cfg, *workers)
+	s := experiments.RunWorkers(o.config(), o.workers)
 	fmt.Printf("simulation + matching (%d worker(s)) completed in %v\n\n",
 		s.Workers, time.Since(start).Round(time.Millisecond))
 

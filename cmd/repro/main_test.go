@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.seed != 1 || o.days != 8 || o.workers != 0 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+	cfg := o.config()
+	if cfg.Seed != 1 || cfg.Days != 8 {
+		t.Errorf("config did not carry the options: %+v", cfg)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	o, err := parseFlags([]string{"-seed", "7", "-days", "3", "-workers", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.seed != 7 || o.days != 3 || o.workers != 4 {
+		t.Errorf("overrides lost: %+v", o)
+	}
+	if cfg := o.config(); cfg.Seed != 7 || cfg.Days != 3 {
+		t.Errorf("config did not carry the overrides: %+v", cfg)
+	}
+}
+
+func TestParseFlagsRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-days", "0"},
+		{"-days", "-2"},
+		{"-seed", "x"},
+		{"-unknown"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command sweep runs a grid of simulation scenarios concurrently and
+// prints one aggregate report: per-scenario Exact/RM1/RM2 match rates
+// (the E4/E5 tables across the grid), shape-check pass/fail counts, and
+// the match-rate curves. The report is byte-identical for any -workers
+// value; timing goes to stderr so stdout stays deterministic.
+//
+// Usage:
+//
+//	sweep [-grid robustness|seeds|mix] [-seed N] [-scenarios N]
+//	      [-workers N] [-match-workers N] [-format markdown|json]
+//
+// The canned grids are quick-scale (2-day scenarios): "robustness" is the
+// E14 corruption ramp, "seeds" an 8-way seed fan-out, "mix" the workload
+// mix crossed with background-traffic intensity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"panrucio/internal/sim"
+	"panrucio/internal/sweep"
+)
+
+type options struct {
+	seed         int64
+	grid         string
+	scenarios    int
+	workers      int
+	matchWorkers int
+	format       string
+}
+
+// parseFlags parses the command line into options, validating the grid and
+// format names so bad invocations fail before any simulation starts.
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.Int64Var(&o.seed, "seed", 1, "base simulation seed")
+	fs.StringVar(&o.grid, "grid", "robustness", "canned grid: robustness (E14 corruption ramp), seeds, mix")
+	fs.IntVar(&o.scenarios, "scenarios", 0, "run only the first N scenarios of the grid (0 = all)")
+	fs.IntVar(&o.workers, "workers", 0, "concurrent scenarios (0 = all cores, 1 = serial)")
+	fs.IntVar(&o.matchWorkers, "match-workers", 1, "matcher goroutines per scenario (0 = all cores)")
+	fs.StringVar(&o.format, "format", "markdown", "report format: markdown or json")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	switch o.grid {
+	case "robustness", "seeds", "mix":
+	default:
+		return nil, fmt.Errorf("unknown grid %q (want robustness, seeds, or mix)", o.grid)
+	}
+	switch o.format {
+	case "markdown", "json":
+	default:
+		return nil, fmt.Errorf("unknown format %q (want markdown or json)", o.format)
+	}
+	if o.scenarios < 0 {
+		return nil, fmt.Errorf("-scenarios must be >= 0, got %d", o.scenarios)
+	}
+	return o, nil
+}
+
+// buildGrid materializes the selected canned grid, truncated to the first
+// -scenarios entries.
+func buildGrid(o *options) []sweep.Scenario {
+	base := sim.QuickConfig(o.seed)
+	var scenarios []sweep.Scenario
+	switch o.grid {
+	case "robustness":
+		scenarios = sweep.CorruptionRamp(base, sweep.DefaultRampRates())
+	case "seeds":
+		scenarios = sweep.SeedFanOut(base, 8)
+	case "mix":
+		scenarios = sweep.MixGrid(base)
+	}
+	if o.scenarios > 0 && o.scenarios < len(scenarios) {
+		scenarios = scenarios[:o.scenarios]
+	}
+	return scenarios
+}
+
+// run executes the sweep and renders the report — the deterministic part
+// of the command, shared with the byte-identical-output test.
+func run(o *options) string {
+	rep := sweep.Run(buildGrid(o), sweep.Options{
+		Workers:      o.workers,
+		MatchWorkers: o.matchWorkers,
+	})
+	if o.format == "json" {
+		return rep.JSON()
+	}
+	return rep.Markdown()
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+	n := len(buildGrid(o))
+	start := time.Now()
+	out := run(o)
+	elapsed := time.Since(start)
+	fmt.Print(out)
+	fmt.Fprintf(os.Stderr, "sweep: %d scenario(s) in %v (%.2f scenarios/sec)\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+}

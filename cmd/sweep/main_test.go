@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.grid != "robustness" || o.format != "markdown" || o.seed != 1 ||
+		o.scenarios != 0 || o.workers != 0 || o.matchWorkers != 1 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestParseFlagsRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-grid", "nope"},
+		{"-format", "xml"},
+		{"-scenarios", "-3"},
+		{"-bogus"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+func TestBuildGridSelectionAndTruncation(t *testing.T) {
+	o, err := parseFlags([]string{"-grid", "mix", "-scenarios", "4", "-seed", "9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := buildGrid(o)
+	if len(grid) != 4 {
+		t.Fatalf("-scenarios 4 gave %d scenarios", len(grid))
+	}
+	for _, sc := range grid {
+		if sc.Config.Seed != 9 {
+			t.Errorf("scenario %s lost the base seed: %d", sc.ID, sc.Config.Seed)
+		}
+	}
+	o, _ = parseFlags([]string{"-grid", "seeds"})
+	if got := len(buildGrid(o)); got != 8 {
+		t.Errorf("seeds grid has %d scenarios, want 8", got)
+	}
+}
+
+// Acceptance: sweep output is byte-identical for -workers 1 and -workers 8
+// on the same scenario grid, in both formats.
+func TestOutputByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, format := range []string{"markdown", "json"} {
+		args := []string{"-scenarios", "2", "-format", format}
+		serial, err := parseFlags(append(args, "-workers", "1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := parseFlags(append(args, "-workers", "8", "-match-workers", "4"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := run(serial), run(parallel)
+		if a != b {
+			t.Errorf("%s output diverged between -workers 1 and -workers 8", format)
+		}
+		if format == "markdown" && !strings.Contains(a, "Scenario sweep — 2 scenario(s)") {
+			t.Errorf("markdown header missing:\n%s", a)
+		}
+	}
+}

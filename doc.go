@@ -4,11 +4,23 @@
 // of the ATLAS distributed computing stack (the PanDA workload manager,
 // the Rucio data-management system, the WLCG network) plus a faithful
 // implementation of the paper's job-to-transfer metadata-matching
-// framework (exact Algorithm 1 and the relaxed RM1/RM2 strategies) and
-// the analyses that regenerate every table and figure of the evaluation.
+// framework (exact Algorithm 1 and the relaxed RM1/RM2 strategies), the
+// analyses that regenerate every table and figure of the evaluation
+// (E1–E13), and the scenario-sweep engine (internal/sweep, E14) that runs
+// grids of scenario variations concurrently for robustness and scale
+// studies.
 //
-// The root package holds only documentation and the benchmark harness
-// (bench_test.go); the implementation lives under internal/ (see DESIGN.md
-// for the system inventory) and the runnable entry points under cmd/ and
-// examples/.
+// The root package holds only documentation and test harnesses: the
+// per-experiment benchmark suite (bench_test.go, see BENCHMARKS.md), the
+// ablation benchmarks (ablation_test.go), and the paper-scale acceptance
+// test (repro_test.go). The implementation lives under internal/ — every
+// package there carries a doc.go describing its role, invariants, and
+// entry points; DESIGN.md holds the system inventory. Runnable entry
+// points are under cmd/ (repro, analyze, sweep, gridsim) and examples/
+// (see examples/README.md).
+//
+// Repo-wide invariant: every run is a pure function of its sim.Config,
+// seed included, and parallelism never changes results — the matcher is
+// sharded and the sweep engine pooled, both with deterministic, worker-
+// count-independent output.
 package panrucio

@@ -1,6 +1,3 @@
-// Package analysis turns the metastore and matching results into the
-// paper's tables and figures. Each experiment (DESIGN.md E1-E13) has one
-// entry point returning structured data plus a report rendering.
 package analysis
 
 import (

@@ -1,9 +1,3 @@
-// Package anomaly automates the detection the paper performs manually in
-// Section 5.4 and calls for in its conclusion ("future efforts should
-// focus on automating anomaly detection based on transfer-time
-// thresholds"). Detectors consume matched jobs (core.Match) and emit typed,
-// severity-scored findings; a scan aggregates them into an operator-facing
-// report.
 package anomaly
 
 import (

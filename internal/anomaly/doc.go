@@ -1,0 +1,14 @@
+// Package anomaly automates the detection the paper performs manually in
+// Section 5.4 and calls for in its conclusion ("future efforts should
+// focus on automating anomaly detection based on transfer-time
+// thresholds"). Detectors consume matched jobs (core.Match) and emit
+// typed, severity-scored findings; a scan aggregates them into an
+// operator-facing report.
+//
+// Entry point: NewScanner(grid).Scan(result) over a matching result —
+// usually the RM2 pass, whose relaxed site condition surfaces the
+// UNKNOWN-endpoint and redundant-transfer pathologies the detectors
+// score. Scans are deterministic: findings derive only from the matches
+// and the grid, and are reported in a stable order, so the same run
+// always yields the same report.
+package anomaly

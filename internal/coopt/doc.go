@@ -1,0 +1,16 @@
+// Package coopt implements the co-optimization strategies the paper's
+// conclusion calls for: brokerage policies in which PanDA and Rucio share
+// performance awareness instead of optimizing independently. Section 3.1
+// frames the tension — "minimizing input data movement reduces network
+// traffic but can overload compute resources at a single site" — and
+// Section 5.3 shows that strict data locality is not always optimal.
+//
+// Three alternatives to panda.DataLocalityPolicy are provided, plus an
+// A/B experiment harness that runs identical workloads under each policy
+// and reports the end-to-end trade-off (queue time vs. remote data
+// movement). Entry points: ContentionConfig builds a scaled-down scenario
+// in which brokerage choices matter, Evaluate runs one policy, Compare
+// runs DefaultPolicies side by side, and Table renders the comparison.
+// Every policy evaluation is a fresh deterministic simulation of the same
+// seed, so the A/B gap is attributable to the policy alone.
+package coopt

@@ -1,22 +1,3 @@
-// Package core implements the paper's primary contribution: the
-// fine-grained metadata-matching framework that links PanDA jobs to Rucio
-// file-transfer events at file granularity, despite transfer events
-// carrying no job identifier.
-//
-// Three strategies are provided, mirroring Section 4:
-//
-//   - Exact (Algorithm 1): joins the job's JEDI file rows to transfer
-//     events on (lfn, scope, dataset, proddblock, file_size), then filters
-//     the candidate set by transfer-start-before-job-end, the
-//     download/upload site condition, and the whole-set size-sum condition
-//     (Σ file_size == ninputfilebytes ∨ noutputfilebytes).
-//   - RM1: drops the file-size checking criterion. The paper motivates this
-//     with two cases — valid subsets without an exact sum, and sizes not
-//     recorded precisely to the byte; we therefore relax file_size both in
-//     the per-file join and in the aggregate check (see DESIGN.md).
-//   - RM2: additionally drops the computing-site condition, recovering
-//     transfers whose source or destination was recorded as UNKNOWN or with
-//     an invalid name.
 package core
 
 import (

@@ -1,23 +1,3 @@
-// Package corruption degrades transfer-event metadata on its way into the
-// metastore, reproducing the data-quality pathologies the paper reports
-// (Section 1, challenge 3; Section 5.4, Table 3): missing or invalid site
-// labels, imprecisely recorded file sizes, lost jeditaskids, naming
-// mismatches that break the metadata join, and dropped records. The
-// corruption rates are the knobs that place the exact / RM1 / RM2 match
-// fractions in the paper's bands.
-//
-// Two of the channels are deliberately *correlated* rather than per-event,
-// because that is how the production pathologies behave:
-//
-//   - Join breakage is per dataset: when a dataset's JEDI name and its
-//     Rucio name follow different conventions (the "_tid" block suffix),
-//     every transfer event of that dataset fails the join — under every
-//     matching method. This is the dominant reason the paper links only
-//     ~2 % of task-carrying transfers.
-//   - UNKNOWN-endpoint loss is per pilot batch: all files fetched by one
-//     pilot session lose their endpoint label together (Table 3 shows all
-//     three transfers of the set with destination UNKNOWN). This is what
-//     makes RM2 recover whole jobs rather than stray events.
 package corruption
 
 import (
@@ -30,7 +10,10 @@ import (
 )
 
 // Config sets corruption probabilities. Zero values take the calibrated
-// defaults (see DESIGN.md shape targets).
+// defaults (see DESIGN.md shape targets); because of that, a probability
+// cannot be set to literal zero by assigning 0 — pass any negative value
+// instead and fill clamps it to exactly 0. Sweeps that ramp a channel down
+// to "off" (internal/sweep, experiment E14) rely on this convention.
 type Config struct {
 	// Disable turns every channel off — events pass through untouched.
 	// Ablation studies use this to measure the matching framework against
@@ -73,6 +56,9 @@ func (c *Config) fill() {
 		if *p == 0 {
 			*p = v
 		}
+		if *p < 0 {
+			*p = 0
+		}
 	}
 	def(&c.DropTransferProb, 0.01)
 	def(&c.DropTaskIDProb, 0.02)
@@ -86,7 +72,8 @@ func (c *Config) fill() {
 	}
 }
 
-// Stats tallies what the corruptor did, for reporting in EXPERIMENTS.md.
+// Stats tallies what the corruptor did, surfaced after a run as
+// sim.Result.Corruption.
 type Stats struct {
 	Seen         int64
 	Dropped      int64

@@ -266,3 +266,31 @@ func TestDeterministicAcrossCorruptors(t *testing.T) {
 		}
 	}
 }
+
+func TestNegativeProbabilityMeansExactlyZero(t *testing.T) {
+	rng := simtime.NewRNG(9)
+	c := New(rng, Config{
+		DropTransferProb:      -1,
+		DropTaskIDProb:        -1,
+		JoinBreakProb:         -1,
+		UnknownSiteProb:       -1,
+		UnknownSiteProbTaskID: -1,
+		GarbleSiteProb:        -1,
+		SizeJitterProb:        -1,
+	})
+	if got := c.Config(); got.JoinBreakProb != 0 || got.UnknownSiteProbTaskID != 0 {
+		t.Fatalf("negative probabilities not clamped to zero: %+v", got)
+	}
+	for i := 0; i < 500; i++ {
+		ev := event()
+		ev.JediTaskID = int64(i + 1)
+		ev.EventID = int64(i)
+		if !c.Transfer(ev) {
+			t.Fatal("event dropped with DropTransferProb forced to zero")
+		}
+	}
+	st := c.Stats
+	if st.Dropped+st.TaskIDLost+st.JoinBroken+st.SiteUnknowns+st.SiteGarbled+st.SizeJittered != 0 {
+		t.Fatalf("corruption acted with every channel forced off: %+v", st)
+	}
+}

@@ -1,0 +1,29 @@
+// Package corruption degrades transfer-event metadata on its way into the
+// metastore, reproducing the data-quality pathologies the paper reports
+// (Section 1, challenge 3; Section 5.4, Table 3): missing or invalid site
+// labels, imprecisely recorded file sizes, lost jeditaskids, naming
+// mismatches that break the metadata join, and dropped records. The
+// corruption rates are the knobs that place the exact / RM1 / RM2 match
+// fractions in the paper's bands; the sweep engine's E14 ramp turns the
+// job-correlated knobs to measure robustness.
+//
+// Two of the channels are deliberately *correlated* rather than per-event,
+// because that is how the production pathologies behave:
+//
+//   - Join breakage is per dataset: when a dataset's JEDI name and its
+//     Rucio name follow different conventions (the "_tid" block suffix),
+//     every transfer event of that dataset fails the join — under every
+//     matching method. This is the dominant reason the paper links only
+//     ~2 % of task-carrying transfers.
+//   - UNKNOWN-endpoint loss is per pilot batch: all files fetched by one
+//     pilot session lose their endpoint label together (Table 3 shows all
+//     three transfers of the set with destination UNKNOWN). This is what
+//     makes RM2 recover whole jobs rather than stray events.
+//
+// Entry points: New with a dedicated RNG split, then Transfer per event
+// (false = drop). Determinism: per-event draws come from the split RNG and
+// the correlated channels hash a salt plus a stable key, so one seed
+// always corrupts the same events the same way. Config's zero values mean
+// "calibrated default"; pass a negative probability to force a channel to
+// exactly zero.
+package corruption

@@ -1,0 +1,17 @@
+// Package experiments orchestrates the paper's full evaluation: it runs
+// the simulated grid, applies the matching framework, and regenerates
+// every table and figure (DESIGN.md E1–E14). The command-line tools and
+// the benchmark harness both build on this package so that numbers
+// printed by cmd/repro and measured by `go test -bench` come from the
+// same code.
+//
+// Entry points: Run / RunWorkers build a Suite (one simulation plus the
+// three matching passes); the Suite's Fig2…Fig12, Table1, and
+// SummaryTable methods regenerate individual artifacts; RenderAll emits
+// the complete textual report; ShapeChecks evaluates the paper's
+// qualitative claims (delegating to analysis.ShapeChecks); and
+// RobustnessSweep runs the multi-scenario E14 corruption ramp through
+// internal/sweep. A Suite is deterministic for a given Config and worker
+// count never changes results — RunWorkers merely shards the matching
+// passes.
+package experiments

@@ -88,3 +88,30 @@ func TestAnomaliesOnQuickRun(t *testing.T) {
 		t.Errorf("scanned %d, want RM2 matched %d", rep.JobsScanned, s.Cmp.RM2.MatchedJobs)
 	}
 }
+
+// E14: the robustness sweep must be deterministic across worker counts and
+// must show exact matching degrading under the corruption ramp while RM2
+// holds up better.
+func TestRobustnessSweepE14(t *testing.T) {
+	serial := RobustnessSweep(5, 1)
+	parallel := RobustnessSweep(5, 4)
+	if serial.Markdown() != parallel.Markdown() || serial.JSON() != parallel.JSON() {
+		t.Fatal("E14 report diverged across worker counts")
+	}
+	out := serial.Outcomes
+	if len(out) != 6 {
+		t.Fatalf("E14 ran %d scenarios, want 6", len(out))
+	}
+	clean, worst := out[0], out[len(out)-1]
+	if worst.Exact.MatchedJobs >= clean.Exact.MatchedJobs {
+		t.Errorf("exact matching did not degrade along the ramp: %d -> %d",
+			clean.Exact.MatchedJobs, worst.Exact.MatchedJobs)
+	}
+	if worst.RM2.MatchedJobs <= worst.Exact.MatchedJobs {
+		t.Errorf("RM2 should out-match exact at 50%% corruption: %d vs %d",
+			worst.RM2.MatchedJobs, worst.Exact.MatchedJobs)
+	}
+	if !strings.Contains(serial.Markdown(), "corr=50%") {
+		t.Error("E14 markdown lost the ramp labels")
+	}
+}

@@ -1,0 +1,23 @@
+// Package metastore is the OpenSearch stand-in: an in-memory, indexed
+// store of job records, JEDI file records, and Rucio transfer events, with
+// the time-windowed queries the paper's analysis workflow (Fig. 4) issues.
+// Records are immutable once ingested; all queries return the stored
+// pointers, so callers must not mutate results.
+//
+// Ingestion is append-only: the Put* methods maintain the hash indices
+// (by-id, by-LFN, by-task, and the composite join-key indices Algorithm 1
+// probes) and the cached counters incrementally. The sorted time indices
+// behind the ranged queries Jobs and Transfers are built by Freeze, which
+// runs automatically on the first ranged query after an ingest; once
+// frozen, ranged queries are binary-search slices with no per-call
+// allocation beyond the label filter. Freeze also pre-resolves each job's
+// file rows to their candidate transfer buckets (JoinEntriesForJob), the
+// matcher's allocation-free per-job probe.
+//
+// Concurrency invariant: the store is safe for concurrent readers after
+// Freeze (the matcher's sharded pipeline relies on this); ingestion must
+// not run concurrently with queries. Reset empties a store for reuse while
+// keeping its index maps' capacity — the sweep engine gives each worker
+// one store across many scenarios via sim.RunReusing — and invalidates
+// everything previously obtained from it.
+package metastore

@@ -1,20 +1,3 @@
-// Package metastore is the OpenSearch stand-in: an in-memory, indexed
-// store of job records, JEDI file records, and Rucio transfer events, with
-// the time-windowed queries the paper's analysis workflow (Fig. 4) issues.
-// Records are immutable once ingested; all queries return the stored
-// pointers, so callers must not mutate results.
-//
-// Ingestion is append-only: the Put* methods maintain the hash indices
-// (by-id, by-LFN, by-task, and the composite join-key indices Algorithm 1
-// probes) and the cached counters incrementally. The sorted time indices
-// behind the ranged queries Jobs and Transfers are built by Freeze, which
-// runs automatically on the first ranged query after an ingest; once
-// frozen, ranged queries are binary-search slices with no per-call
-// allocation beyond the label filter.
-//
-// The store is safe for concurrent readers after Freeze (the matcher's
-// sharded pipeline relies on this); ingestion must not run concurrently
-// with queries.
 package metastore
 
 import (
@@ -168,6 +151,44 @@ func (s *Store) Freeze() {
 		})
 	}
 	s.frozen.Store(true)
+}
+
+// Reset empties the store for reuse while keeping the allocated index maps
+// and record slices, so a long-lived store (one per sweep worker, say) does
+// not rebuild its hash tables from scratch for every scenario. After Reset
+// the store is unfrozen and indistinguishable from New()'s result — except
+// that any records, query results, or join entries previously obtained from
+// it are invalidated and must not be used.
+//
+// Reset must not run concurrently with ingestion or queries; the sweep
+// engine guarantees this by giving each worker goroutine its own store.
+func (s *Store) Reset() {
+	s.freezeMu.Lock()
+	defer s.freezeMu.Unlock()
+	// Zero the record slices before truncating: the backing arrays are kept
+	// for capacity, but stale pointers in the tail would pin the previous
+	// scenario's records for the store's whole lifetime.
+	clear(s.jobs)
+	s.jobs = s.jobs[:0]
+	clear(s.files)
+	s.files = s.files[:0]
+	clear(s.transfers)
+	s.transfers = s.transfers[:0]
+	clear(s.jobsByID)
+	clear(s.filesByPanda)
+	clear(s.evByLFN)
+	clear(s.evByTask)
+	clear(s.evByKey)
+	clear(s.evByTaskKey)
+	s.withTaskID = 0
+	clear(s.taskByActivity)
+	// The frozen indices are rebuilt from scratch by every Freeze (ranged
+	// queries alias them), so there is no capacity worth keeping — drop the
+	// references and let the old arrays go.
+	s.jobsByEnd = nil
+	s.evByStart = nil
+	s.entriesByJob = nil
+	s.frozen.Store(false)
 }
 
 // pandaTask identifies one job's file-row group: JEDI file rows carry both

@@ -1,14 +1,3 @@
-// Package netsim models the network substrate of the simulated grid: a
-// lazily-created mesh of directed links between sites. Each link has a
-// nominal bandwidth (from the topology), an AR(1) stochastic fluctuation
-// process, and a diurnal modulation; concurrent transfers on a link share
-// its instantaneous capacity fairly, and a per-link concurrency cap queues
-// the excess (an FTS-like admission discipline).
-//
-// This reproduces the phenomenology behind the paper's Figs. 7 and 8:
-// transfer rates that are unsteady at short timescales, asymmetric between
-// the two directions of a site pair, and generally higher for local (LAN)
-// movement than for wide-area movement.
 package netsim
 
 import (

@@ -1,8 +1,3 @@
-// Package panda implements the workload-management substrate: JEDI tasks
-// and PanDA jobs, data-locality brokerage, per-site pilot slots, the pilot
-// stage-in / payload / stage-out lifecycle, and emission of job and file
-// metadata records. Together with the rucio package it generates the two
-// metadata streams the paper's matching framework correlates.
 package panda
 
 import (

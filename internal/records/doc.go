@@ -1,0 +1,15 @@
+// Package records defines the metadata record schema shared by the PanDA
+// and Rucio substrates, the metastore, and the matching framework. The
+// fields mirror the attributes the paper's Algorithm 1 consumes: PanDA job
+// records (JobRecord), JEDI file records (FileRecord), and Rucio transfer
+// events (TransferEvent). Transfer events deliberately carry no pandaid —
+// the absence of that link is the paper's central data problem.
+//
+// The package is schema only: plain structs, the Activity and SourceLabel
+// vocabularies, and small derived accessors (IsLocal, HasTaskID, and the
+// QueueTime/WallTime/Duration intervals). It imports nothing but simtime, so
+// every layer can share it without dependency cycles. Records are created
+// by the substrates, ingested by the metastore, and treated as immutable
+// from then on — the corruption layer is the single sanctioned mutator,
+// and it runs before ingestion.
+package records

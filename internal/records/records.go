@@ -1,9 +1,3 @@
-// Package records defines the metadata record schema shared by the PanDA
-// and Rucio substrates, the metastore, and the matching framework. The
-// fields mirror the attributes the paper's Algorithm 1 consumes: PanDA job
-// records, JEDI file records, and Rucio transfer events. Transfer events
-// deliberately carry no pandaid — the absence of that link is the paper's
-// central data problem.
 package records
 
 import "panrucio/internal/simtime"

@@ -1,0 +1,13 @@
+// Package report renders analysis outputs as fixed-width ASCII tables,
+// CSV, and text sparklines — the presentation layer for the table and
+// figure regenerators. Keeping rendering separate from computation lets
+// the bench harness validate numbers without parsing text.
+//
+// Entry points: Table (Render / CSV), Series with Sparkline, and
+// RenderSeries for labelled sparkline blocks. Rendering is deterministic:
+// output is a pure function of the table or series contents (column
+// widths derive from the cells, never from terminal state), which is what
+// lets cmd/repro diffs, the equivalence tests, and the sweep engine's
+// byte-identical-report guarantee treat rendered text as a stable
+// artifact.
+package report

@@ -1,7 +1,3 @@
-// Package report renders analysis outputs as fixed-width ASCII tables, CSV,
-// and text sparklines — the presentation layer for the table and figure
-// regenerators. Keeping rendering separate from computation lets the bench
-// harness validate numbers without parsing text.
 package report
 
 import (

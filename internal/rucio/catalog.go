@@ -1,9 +1,3 @@
-// Package rucio implements the data-management substrate: a three-level DID
-// namespace (files, datasets, containers), replicas on Rucio Storage
-// Elements, replication to destination RSEs, pilot stage-in/stage-out
-// transfers, and background data-management traffic. Completed transfers
-// are emitted as records.TransferEvent through a pluggable sink — the same
-// event stream the paper queries from OpenSearch.
 package rucio
 
 import (

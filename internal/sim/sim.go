@@ -1,8 +1,3 @@
-// Package sim assembles the full simulated stack — grid topology, network,
-// Rucio, PanDA, workload generation, background traffic, metadata
-// corruption, and the metastore — and runs it over a study window. It is
-// the single entry point used by the command-line tools, the examples, and
-// the benchmark harness.
 package sim
 
 import (
@@ -82,6 +77,17 @@ type Result struct {
 // Run executes the scenario to its horizon and returns the populated
 // metastore plus run statistics. Deterministic for a given Config.
 func Run(cfg Config) *Result {
+	return RunReusing(cfg, metastore.New())
+}
+
+// RunReusing is Run with a caller-provided metastore: the store is Reset
+// first, so its index maps' capacity carries over from previous runs. This
+// is the entry point of the sweep engine, whose workers each own one store
+// across many scenarios. The returned Result is identical to Run's for the
+// same Config, but any records or query results obtained from the store
+// before the call are invalidated.
+func RunReusing(cfg Config, store *metastore.Store) *Result {
+	store.Reset()
 	cfg.fill()
 	horizon := simtime.VTime(cfg.WarmupDays+cfg.Days) * simtime.Day
 	eng := simtime.NewEngine(0, horizon)
@@ -96,7 +102,6 @@ func Run(cfg Config) *Result {
 	}
 	root := simtime.NewRNG(cfg.Seed)
 
-	store := metastore.New()
 	corr := corruption.New(root.Split("corruption"), cfg.Corruption)
 
 	net := netsim.New(eng, grid, root.Split("net"), cfg.Net)

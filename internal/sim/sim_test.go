@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"panrucio/internal/metastore"
 	"panrucio/internal/records"
 	"panrucio/internal/simtime"
 	"panrucio/internal/topology"
@@ -182,6 +183,36 @@ func TestCorruptionDisableFlows(t *testing.T) {
 	for _, ev := range res.Store.Transfers(0, 0) {
 		if ev.SourceSite == topology.UnknownSite || ev.DestinationSite == topology.UnknownSite {
 			t.Fatal("UNKNOWN site with corruption disabled")
+		}
+	}
+}
+
+func TestRunReusingMatchesRun(t *testing.T) {
+	fresh := Run(QuickConfig(3))
+
+	store := metastore.New()
+	RunReusing(QuickConfig(7), store) // dirty the store with another scenario
+	reused := RunReusing(QuickConfig(3), store)
+
+	if fresh.Store.TransferCount() != reused.Store.TransferCount() ||
+		fresh.Store.JobCount() != reused.Store.JobCount() ||
+		fresh.Store.TransfersWithTaskID() != reused.Store.TransfersWithTaskID() {
+		t.Fatalf("reused store diverged: %d/%d/%d vs %d/%d/%d",
+			fresh.Store.TransferCount(), fresh.Store.JobCount(), fresh.Store.TransfersWithTaskID(),
+			reused.Store.TransferCount(), reused.Store.JobCount(), reused.Store.TransfersWithTaskID())
+	}
+	if fresh.SubmittedJobs != reused.SubmittedJobs || fresh.MovedBytes != reused.MovedBytes ||
+		fresh.Corruption != reused.Corruption {
+		t.Fatalf("run statistics diverged: %+v vs %+v", fresh, reused)
+	}
+	fj := fresh.Store.Jobs(fresh.WindowFrom, fresh.WindowTo, records.LabelUser)
+	rj := reused.Store.Jobs(reused.WindowFrom, reused.WindowTo, records.LabelUser)
+	if len(fj) != len(rj) {
+		t.Fatalf("windowed job sets diverged: %d vs %d", len(fj), len(rj))
+	}
+	for i := range fj {
+		if fj[i].PandaID != rj[i].PandaID || fj[i].EndTime != rj[i].EndTime {
+			t.Fatalf("job %d diverged: %+v vs %+v", i, fj[i], rj[i])
 		}
 	}
 }

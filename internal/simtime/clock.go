@@ -1,12 +1,3 @@
-// Package simtime provides the discrete-event simulation kernel used by all
-// panrucio substrates: a virtual clock, a binary-heap event queue, and
-// deterministic, splittable random-number helpers.
-//
-// The kernel is intentionally single-goroutine: a simulation advances by
-// popping the earliest scheduled event and running its callback, which may
-// schedule further events. Determinism is a hard requirement (DESIGN.md);
-// for one seed the whole experiment suite reproduces bit-for-bit, so there
-// is no wall-clock or goroutine-ordering dependence anywhere in the kernel.
 package simtime
 
 import (

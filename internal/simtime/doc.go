@@ -1,0 +1,17 @@
+// Package simtime provides the discrete-event simulation kernel used by
+// all panrucio substrates: a virtual clock (VTime), a binary-heap event
+// queue (Engine), and deterministic, splittable random-number helpers
+// (RNG).
+//
+// The kernel is intentionally single-goroutine: a simulation advances by
+// popping the earliest scheduled event and running its callback, which may
+// schedule further events. Determinism is a hard requirement (DESIGN.md);
+// for one seed the whole experiment suite reproduces bit-for-bit, so there
+// is no wall-clock or goroutine-ordering dependence anywhere in the
+// kernel. Ties at the same virtual time are broken by schedule order, and
+// RNG.Split derives independent named streams so each subsystem owns its
+// randomness.
+//
+// Entry points: NewEngine(start, horizon) then Run; NewRNG(seed) and
+// RNG.Split(name) for the per-subsystem streams.
+package simtime

@@ -1,6 +1,3 @@
-// Package stats provides the small numeric toolkit the analysis layer
-// needs: means, geometric means, percentiles, histograms, and byte
-// formatting. Everything is allocation-light and deterministic.
 package stats
 
 import (

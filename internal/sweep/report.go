@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"panrucio/internal/report"
+)
+
+// Report is the aggregate result of one sweep, with outcomes in scenario
+// (grid) order. Every rendering is a pure function of the outcomes — no
+// timestamps, worker counts, or map iteration — so two runs of the same
+// grid produce byte-identical reports regardless of Options.
+type Report struct {
+	Outcomes []Outcome `json:"scenarios"`
+}
+
+// JSON renders the full report (E3–E5 numbers and every shape check per
+// scenario) as indented JSON.
+func (r *Report) JSON() string {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		// Outcome is a closed tree of marshalable value types.
+		panic("sweep: report marshal: " + err.Error())
+	}
+	return string(b) + "\n"
+}
+
+// MatchRateCurves returns the per-method matched-transfer percentage as
+// series over the scenarios' X coordinates — the E14 robustness curves.
+func (r *Report) MatchRateCurves() []*report.Series {
+	sel := func(name string, f func(Outcome) float64) *report.Series {
+		s := &report.Series{Name: name, XLabel: "scenario", YLabel: "matched %"}
+		for _, o := range r.Outcomes {
+			s.Points = append(s.Points, report.Point{X: o.X, Y: f(o)})
+		}
+		return s
+	}
+	return []*report.Series{
+		sel("exact", func(o Outcome) float64 { return o.Exact.TransferPct }),
+		sel("rm1", func(o Outcome) float64 { return o.RM1.TransferPct }),
+		sel("rm2", func(o Outcome) float64 { return o.RM2.TransferPct }),
+	}
+}
+
+// TransferTable is the sweep-wide E4 analogue: matched-transfer counts and
+// percentages per scenario and method.
+func (r *Report) TransferTable() *report.Table {
+	t := &report.Table{
+		Title: "Sweep — matched transfers by scenario (E4)",
+		Columns: []string{"scenario", "events", "with taskid",
+			"exact", "rm1", "rm2", "exact %", "rm1 %", "rm2 %"},
+	}
+	for _, o := range r.Outcomes {
+		t.AddRow(o.ID,
+			fmt.Sprintf("%d", o.StoredEvents),
+			fmt.Sprintf("%d", o.TransfersWithTaskID),
+			fmt.Sprintf("%d", o.Exact.MatchedTransfers),
+			fmt.Sprintf("%d", o.RM1.MatchedTransfers),
+			fmt.Sprintf("%d", o.RM2.MatchedTransfers),
+			fmt.Sprintf("%.2f%%", o.Exact.TransferPct),
+			fmt.Sprintf("%.2f%%", o.RM1.TransferPct),
+			fmt.Sprintf("%.2f%%", o.RM2.TransferPct))
+	}
+	return t
+}
+
+// JobTable is the sweep-wide E5 analogue: matched-job counts and
+// percentages per scenario and method.
+func (r *Report) JobTable() *report.Table {
+	t := &report.Table{
+		Title: "Sweep — matched jobs by scenario (E5)",
+		Columns: []string{"scenario", "user jobs",
+			"exact", "rm1", "rm2", "exact %", "rm1 %", "rm2 %", "checks"},
+	}
+	for _, o := range r.Outcomes {
+		t.AddRow(o.ID,
+			fmt.Sprintf("%d", o.UserJobs),
+			fmt.Sprintf("%d", o.Exact.MatchedJobs),
+			fmt.Sprintf("%d", o.RM1.MatchedJobs),
+			fmt.Sprintf("%d", o.RM2.MatchedJobs),
+			fmt.Sprintf("%.2f%%", o.Exact.JobPct),
+			fmt.Sprintf("%.2f%%", o.RM1.JobPct),
+			fmt.Sprintf("%.2f%%", o.RM2.JobPct),
+			fmt.Sprintf("%d/%d", o.ChecksPassed, o.ChecksPassed+o.ChecksFailed))
+	}
+	return t
+}
+
+// Markdown renders the human-readable report: the E4/E5 scenario tables,
+// the match-rate curves, and every failed shape check (failures under
+// extreme scenarios are the robustness signal, so they are listed rather
+// than hidden).
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Scenario sweep — %d scenario(s)\n\n", len(r.Outcomes))
+
+	md := func(t *report.Table) {
+		fmt.Fprintf(&b, "## %s\n\n", t.Title)
+		b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+		b.WriteString(strings.Repeat("|---", len(t.Columns)) + "|\n")
+		for _, row := range t.Rows {
+			b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+		}
+		b.WriteString("\n")
+	}
+	md(r.TransferTable())
+	md(r.JobTable())
+
+	b.WriteString("## Match-rate curves (matched-transfer % across scenarios)\n\n```\n")
+	b.WriteString(report.RenderSeries("exact / rm1 / rm2", 48, r.MatchRateCurves()))
+	b.WriteString("```\n\n")
+
+	failures := 0
+	for _, o := range r.Outcomes {
+		for _, c := range o.Checks {
+			if !c.OK {
+				if failures == 0 {
+					b.WriteString("## Shape-check failures\n\n")
+				}
+				fmt.Fprintf(&b, "- `%s`: %s\n", o.ID, c.String())
+				failures++
+			}
+		}
+	}
+	if failures == 0 {
+		b.WriteString("## Shape checks\n\nAll checks passed in every scenario.\n")
+	}
+	return b.String()
+}

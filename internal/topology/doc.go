@@ -1,0 +1,15 @@
+// Package topology models the static structure of the simulated WLCG:
+// computing sites organized in tiers 0–3, their regions, CPU capacity,
+// Rucio Storage Elements (RSEs), and the nominal network capacities
+// between sites. It is the shared vocabulary of the PanDA and Rucio
+// substrates and of the analysis layer.
+//
+// Entry point: Default(spec) builds the paper-scale grid — the named
+// exemplar sites the figures reference (CERN-PROD, BNL-ATLAS, NDGF-T1,
+// ...) padded with generic Tier-2/Tier-3 sites to ~111, the paper's
+// transfer-active count; DefaultSpec shrinks or grows the padding (the
+// sweep engine's grid-size axis). Construction is deterministic — sites
+// and links come out in a fixed order for a given spec — and the special
+// UnknownSite is the destination label corrupted events carry, never a
+// real site in the grid.
+package topology

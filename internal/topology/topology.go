@@ -1,8 +1,3 @@
-// Package topology models the static structure of the simulated WLCG:
-// computing sites organized in tiers 0-3, their regions, CPU capacity,
-// Rucio Storage Elements (RSEs), and the nominal network capacities
-// between sites. It is the shared vocabulary of the PanDA and Rucio
-// substrates and of the analysis layer.
 package topology
 
 import (

@@ -1,0 +1,14 @@
+// Package workload generates the synthetic ATLAS-like load: an initial
+// catalog of input datasets distributed across the grid, plus Poisson
+// arrivals of user-analysis and managed-production tasks over the study
+// window. Dataset popularity is Zipf-like, dataset sizes are heavy-tailed,
+// and placement is tier-weighted — the ingredients behind the paper's
+// spatially imbalanced transfer matrix (Fig. 3).
+//
+// Entry point: Start wires the generator into an engine, grid, rucio, and
+// panda instance with its own RNG split; Config's zero fields take the
+// calibrated defaults, and the sweep engine's workload-mix axis varies the
+// user/production arrival intervals explicitly. All arrivals are scheduled
+// on the single-goroutine engine from the split RNG, so the task stream is
+// reproducible per seed.
+package workload

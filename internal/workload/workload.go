@@ -1,9 +1,3 @@
-// Package workload generates the synthetic ATLAS-like load: an initial
-// catalog of input datasets distributed across the grid, plus Poisson
-// arrivals of user-analysis and managed-production tasks over the study
-// window. Dataset popularity is Zipf-like, dataset sizes are heavy-tailed,
-// and placement is tier-weighted — the ingredients behind the paper's
-// spatially imbalanced transfer matrix (Fig. 3).
 package workload
 
 import (

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Fails if any package under internal/ lacks a package comment in a
+# dedicated doc.go, or if the repo root is missing its doc.go. CI runs
+# this in the docs job; DESIGN.md states the invariant.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    doc="$dir/doc.go"
+    if [ ! -f "$doc" ]; then
+        echo "missing $doc" >&2
+        status=1
+        continue
+    fi
+    if ! grep -q "^// Package $pkg " "$doc"; then
+        echo "$doc has no '// Package $pkg ...' comment" >&2
+        status=1
+    fi
+done
+if ! grep -q "^// Package panrucio " doc.go; then
+    echo "root doc.go has no package comment" >&2
+    status=1
+fi
+if [ "$status" -ne 0 ]; then
+    echo "package documentation check failed" >&2
+fi
+exit $status
