@@ -37,11 +37,35 @@ func sharedSuite() *experiments.Suite {
 
 // BenchmarkSimulation measures the full 8-day grid simulation plus the
 // three matching passes (the substrate cost underneath every experiment).
+// Beyond throughput it reports the two memory scoreboards of the store:
+// live_B/event is the retained heap per stored transfer event once the run
+// is frozen (the metric that decides whether paper-scale fits on one
+// machine), alloc_B/event the total allocation churn per event.
 func BenchmarkSimulation(b *testing.B) {
+	b.ReportAllocs()
+	var events, liveB, allocB float64
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.GC()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.StartTimer()
 		s := experiments.Run(sim.PaperConfig(int64(i + 1)))
-		b.ReportMetric(float64(s.Result.StoredEvents), "events")
+		b.StopTimer()
+		runtime.GC()
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		events += float64(s.Result.StoredEvents)
+		liveB += float64(m1.HeapAlloc) - float64(m0.HeapAlloc)
+		allocB += float64(m1.TotalAlloc - m0.TotalAlloc)
+		runtime.KeepAlive(s)
+		b.StartTimer()
 	}
+	b.StopTimer()
+	b.ReportMetric(events/float64(b.N), "events")
+	b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(liveB/events, "live_B/event")
+	b.ReportMetric(allocB/events, "alloc_B/event")
 }
 
 // BenchmarkFig2VolumeGrowth regenerates the cumulative managed-volume

@@ -7,7 +7,14 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-days N] [-workers N]
+//	repro [-seed N] [-days N] [-workers N] [-scale F] [-shards N]
+//
+// -scale multiplies the scenario's event volume: the default scenario is
+// calibrated to roughly 1/20 of the paper's production week, so -scale 20
+// is a paper-scale (1x) run and -scale 200 the 10x stress case. At scaled
+// volumes the shape checks still apply — the scenario's proportions are
+// scale-free. -shards sets the metastore shard count (0 = default); it
+// never changes output.
 package main
 
 import (
@@ -25,6 +32,8 @@ type options struct {
 	seed    int64
 	days    int
 	workers int
+	scale   float64
+	shards  int
 }
 
 // parseFlags parses the command line into options; kept separate from main
@@ -35,11 +44,19 @@ func parseFlags(args []string) (*options, error) {
 	fs.Int64Var(&o.seed, "seed", 1, "simulation seed")
 	fs.IntVar(&o.days, "days", 8, "study-window length in days (paper: 8)")
 	fs.IntVar(&o.workers, "workers", 0, "matcher worker goroutines (0 = all cores, 1 = serial)")
+	fs.Float64Var(&o.scale, "scale", 1, "event-volume multiplier (20 = paper scale, 200 = 10x)")
+	fs.IntVar(&o.shards, "shards", 0, "metastore shard count (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if o.days <= 0 {
 		return nil, fmt.Errorf("-days must be positive, got %d", o.days)
+	}
+	if o.scale < 0 {
+		return nil, fmt.Errorf("-scale must be non-negative, got %g", o.scale)
+	}
+	if o.shards < 0 {
+		return nil, fmt.Errorf("-shards must be non-negative, got %d", o.shards)
 	}
 	return o, nil
 }
@@ -48,6 +65,8 @@ func parseFlags(args []string) (*options, error) {
 func (o *options) config() sim.Config {
 	cfg := sim.PaperConfig(o.seed)
 	cfg.Days = o.days
+	cfg.Scale = o.scale
+	cfg.Shards = o.shards
 	return cfg
 }
 
@@ -58,7 +77,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("panrucio repro: %d-day window, seed %d\n", o.days, o.seed)
+	if o.scale > 0 && o.scale != 1 {
+		fmt.Printf("panrucio repro: %d-day window, seed %d, scale %gx\n", o.days, o.seed, o.scale)
+	} else {
+		fmt.Printf("panrucio repro: %d-day window, seed %d\n", o.days, o.seed)
+	}
 	start := time.Now()
 	s := experiments.RunWorkers(o.config(), o.workers)
 	fmt.Printf("simulation + matching (%d worker(s)) completed in %v\n\n",

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	sweep [-grid robustness|seeds|mix] [-seed N] [-scenarios N]
-//	      [-workers N] [-match-workers N] [-format markdown|json]
+//	      [-workers N] [-match-workers N] [-shards N] [-format markdown|json]
 //
 // The canned grids are quick-scale (2-day scenarios): "robustness" is the
 // E14 corruption ramp, "seeds" an 8-way seed fan-out, "mix" the workload
@@ -30,6 +30,7 @@ type options struct {
 	scenarios    int
 	workers      int
 	matchWorkers int
+	shards       int
 	format       string
 }
 
@@ -43,6 +44,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.scenarios, "scenarios", 0, "run only the first N scenarios of the grid (0 = all)")
 	fs.IntVar(&o.workers, "workers", 0, "concurrent scenarios (0 = all cores, 1 = serial)")
 	fs.IntVar(&o.matchWorkers, "match-workers", 1, "matcher goroutines per scenario (0 = all cores)")
+	fs.IntVar(&o.shards, "shards", 0, "metastore shards per worker store (0 = default)")
 	fs.StringVar(&o.format, "format", "markdown", "report format: markdown or json")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -59,6 +61,9 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if o.scenarios < 0 {
 		return nil, fmt.Errorf("-scenarios must be >= 0, got %d", o.scenarios)
+	}
+	if o.shards < 0 {
+		return nil, fmt.Errorf("-shards must be >= 0, got %d", o.shards)
 	}
 	return o, nil
 }
@@ -88,6 +93,7 @@ func run(o *options) string {
 	rep := sweep.Run(buildGrid(o), sweep.Options{
 		Workers:      o.workers,
 		MatchWorkers: o.matchWorkers,
+		Shards:       o.shards,
 	})
 	if o.format == "json" {
 		return rep.JSON()

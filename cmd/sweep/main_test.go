@@ -11,7 +11,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	if o.grid != "robustness" || o.format != "markdown" || o.seed != 1 ||
-		o.scenarios != 0 || o.workers != 0 || o.matchWorkers != 1 {
+		o.scenarios != 0 || o.workers != 0 || o.matchWorkers != 1 || o.shards != 0 {
 		t.Errorf("unexpected defaults: %+v", o)
 	}
 }
@@ -21,6 +21,7 @@ func TestParseFlagsRejectsBadValues(t *testing.T) {
 		{"-grid", "nope"},
 		{"-format", "xml"},
 		{"-scenarios", "-3"},
+		{"-shards", "-1"},
 		{"-bogus"},
 	} {
 		if _, err := parseFlags(args); err == nil {
@@ -58,13 +59,13 @@ func TestOutputByteIdenticalAcrossWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallel, err := parseFlags(append(args, "-workers", "8", "-match-workers", "4"))
+		parallel, err := parseFlags(append(args, "-workers", "8", "-match-workers", "4", "-shards", "2"))
 		if err != nil {
 			t.Fatal(err)
 		}
 		a, b := run(serial), run(parallel)
 		if a != b {
-			t.Errorf("%s output diverged between -workers 1 and -workers 8", format)
+			t.Errorf("%s output diverged between -workers 1 and -workers 8 -shards 2", format)
 		}
 		if format == "markdown" && !strings.Contains(a, "Scenario sweep — 2 scenario(s)") {
 			t.Errorf("markdown header missing:\n%s", a)

@@ -2,12 +2,29 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"panrucio/internal/metastore"
 	"panrucio/internal/records"
 	"panrucio/internal/simtime"
 )
+
+// reportBytesPerEvent converts the pass's allocation churn into bytes per
+// stored transfer event, the same memory axis BenchmarkSimulation reports,
+// so matcher-side regressions are visible next to store-side wins. Call
+// measureAllocs after ResetTimer and pass its result here after the loop.
+func measureAllocs() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.TotalAlloc
+}
+
+func reportBytesPerEvent(b *testing.B, before uint64, store *metastore.Store) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	b.ReportMetric(float64(m.TotalAlloc-before)/float64(b.N)/float64(store.TransferCount()), "B/event")
+}
 
 // benchStore builds a store shaped like the paper's workload: tasks whose
 // candidate transfer lists grow with jobs-per-task × files-per-job, so the
@@ -60,11 +77,14 @@ func benchStore(tasks, jobsPerTask, filesPerJob int) (*metastore.Store, []*recor
 func BenchmarkMatchRunIndexed(b *testing.B) {
 	store, jobs := benchStore(50, 40, 8)
 	m := NewMatcher(store)
+	b.ReportAllocs()
 	b.ResetTimer()
+	before := measureAllocs()
 	var matched int
 	for i := 0; i < b.N; i++ {
 		matched = m.Run(jobs, Exact).MatchedJobs
 	}
+	reportBytesPerEvent(b, before, store)
 	b.ReportMetric(float64(matched), "matched_jobs")
 }
 
@@ -74,11 +94,14 @@ func BenchmarkMatchRunIndexed(b *testing.B) {
 func BenchmarkMatchRunReference(b *testing.B) {
 	store, jobs := benchStore(50, 40, 8)
 	m := NewMatcher(store)
+	b.ReportAllocs()
 	b.ResetTimer()
+	before := measureAllocs()
 	var matched int
 	for i := 0; i < b.N; i++ {
 		matched = m.runReference(jobs, Exact).MatchedJobs
 	}
+	reportBytesPerEvent(b, before, store)
 	b.ReportMetric(float64(matched), "matched_jobs")
 }
 
@@ -87,10 +110,13 @@ func BenchmarkMatchRunReference(b *testing.B) {
 func BenchmarkMatchRunParallel(b *testing.B) {
 	store, jobs := benchStore(50, 40, 8)
 	m := NewMatcher(store)
+	b.ReportAllocs()
 	b.ResetTimer()
+	before := measureAllocs()
 	var matched int
 	for i := 0; i < b.N; i++ {
 		matched = m.RunParallel(jobs, Exact, 4).MatchedJobs
 	}
+	reportBytesPerEvent(b, before, store)
 	b.ReportMetric(float64(matched), "matched_jobs")
 }

@@ -47,12 +47,13 @@ func (m *Matcher) run(jobs []*records.JobRecord, method Method, workers int) *Re
 	}
 
 	matches := make(chan indexedMatch, 4*workers)
+	assign := m.assignJobs(jobs, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := w; i < len(jobs); i += workers {
+			for _, i := range assign[w] {
 				if evs := m.MatchJob(jobs[i], method); len(evs) > 0 {
 					matches <- indexedMatch{i, Match{Job: jobs[i], Transfers: evs}}
 				}
@@ -67,6 +68,30 @@ func (m *Matcher) run(jobs []*records.JobRecord, method Method, workers int) *Re
 		agg.add(im.idx, im.match)
 	}
 	return agg.finish(len(jobs))
+}
+
+// assignJobs partitions the job set across workers. When the worker pool
+// fits within the store's shard count, jobs are assigned shard-affine —
+// worker = shard(task) mod workers — so each worker's probes stay within a
+// bounded set of shard arenas (and, at workers == ShardCount, exactly one),
+// keeping its scans cache-local. With more workers than shards the affine
+// map would leave workers idle, so it falls back to striding. The
+// assignment only decides which goroutine evaluates a job: the aggregator
+// is order-insensitive and finish imposes the pandaid total order, so the
+// output is identical either way.
+func (m *Matcher) assignJobs(jobs []*records.JobRecord, workers int) [][]int {
+	assign := make([][]int, workers)
+	if workers > 1 && workers <= m.store.ShardCount() {
+		for i, j := range jobs {
+			w := m.store.ShardFor(j.JediTaskID) % workers
+			assign[w] = append(assign[w], i)
+		}
+		return assign
+	}
+	for i := range jobs {
+		assign[i%workers] = append(assign[i%workers], i)
+	}
+	return assign
 }
 
 // indexedMatch tags a match with its job's position in the input slice so

@@ -53,7 +53,7 @@ func RepairStore(store *metastore.Store, grid *topology.Grid, rm2 *Result) (*met
 		}
 	}
 
-	repaired := metastore.New()
+	repaired := metastore.NewSharded(store.ShardCount())
 	for _, j := range store.Jobs(0, 1<<62, "") {
 		repaired.PutJob(j)
 	}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"testing"
+
+	"panrucio/internal/sim"
+)
+
+// TestRenderAllShardInvariant pins the sharded metastore's end-to-end
+// contract at the experiment layer: the full rendered report (E1-E14
+// tables, figures, anomaly scan) is byte-identical for any shard count —
+// including shard counts crossed with matcher parallelism.
+func TestRenderAllShardInvariant(t *testing.T) {
+	cfg := sim.QuickConfig(23)
+	want := Run(cfg).RenderAll() // default shard count, serial matching
+
+	for _, n := range []int{1, 4, 8} {
+		c := cfg
+		c.Shards = n
+		if got := RunWorkers(c, 3).RenderAll(); got != want {
+			t.Fatalf("RenderAll diverged at shards=%d", n)
+		}
+	}
+}

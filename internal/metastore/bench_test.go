@@ -1,0 +1,83 @@
+package metastore_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"panrucio/internal/metastore"
+	"panrucio/internal/records"
+	"panrucio/internal/simtime"
+)
+
+// ingestWorkload streams a synthetic but paper-shaped record mix into the
+// store: tasks of several jobs, each with a handful of file rows whose
+// transfers share scope/dataset/proddblock strings within the task — the
+// string-sharing profile the intern table exploits.
+func ingestWorkload(s *metastore.Store, tasks, jobsPerTask, filesPerJob int) int {
+	events := 0
+	eventID := int64(1)
+	for t := 1; t <= tasks; t++ {
+		scope := "data25"
+		ds := fmt.Sprintf("ds%d", t)
+		for jn := 0; jn < jobsPerTask; jn++ {
+			panda := int64(t*10000 + jn)
+			for fn := 0; fn < filesPerJob; fn++ {
+				lfn := fmt.Sprintf("t%d.j%d.f%d", t, jn, fn)
+				s.PutFile(&records.FileRecord{
+					PandaID: panda, JediTaskID: int64(t),
+					LFN: lfn, Scope: scope, Dataset: ds, ProdDBlock: ds,
+					FileSize: int64(1e9 + fn), Kind: records.FileInput,
+				})
+				s.PutTransfer(&records.TransferEvent{
+					EventID: eventID, LFN: lfn, Scope: scope, Dataset: ds, ProdDBlock: ds,
+					FileSize: int64(1e9 + fn), SourceRSE: "CERN-PROD_DATADISK",
+					DestinationRSE: "BNL-ATLAS_DATADISK",
+					SourceSite:     "CERN-PROD", DestinationSite: "BNL-ATLAS",
+					Activity: records.AnalysisDownload, IsDownload: true,
+					JediTaskID: int64(t),
+					StartedAt:  simtime.VTime(1000 + fn*10), EndedAt: simtime.VTime(1100 + fn*10),
+				})
+				eventID++
+				events++
+			}
+			s.PutJob(&records.JobRecord{
+				PandaID: panda, JediTaskID: int64(t),
+				ComputingSite: "BNL-ATLAS", Label: records.LabelUser,
+				CreationTime: 500, StartTime: 2000, EndTime: simtime.VTime(9000 + jn),
+				Status: records.JobFinished, TaskStatus: records.TaskDone,
+			})
+		}
+	}
+	s.Freeze()
+	return events
+}
+
+// BenchmarkStoreIngest measures ingest + freeze of a 200-task workload
+// (16,000 events) and reports the store's retained heap per event
+// (live_B/event) — the direct measure of the record-storage memory ceiling
+// — alongside allocation churn.
+func BenchmarkStoreIngest(b *testing.B) {
+	b.ReportAllocs()
+	var events, liveB float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.GC()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.StartTimer()
+		s := metastore.New()
+		n := ingestWorkload(s, 200, 10, 8)
+		b.StopTimer()
+		runtime.GC()
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		events += float64(n)
+		liveB += float64(m1.HeapAlloc) - float64(m0.HeapAlloc)
+		runtime.KeepAlive(s)
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(liveB/events, "live_B/event")
+}

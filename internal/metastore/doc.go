@@ -1,23 +1,36 @@
 // Package metastore is the OpenSearch stand-in: an in-memory, indexed
 // store of job records, JEDI file records, and Rucio transfer events, with
 // the time-windowed queries the paper's analysis workflow (Fig. 4) issues.
-// Records are immutable once ingested; all queries return the stored
-// pointers, so callers must not mutate results.
 //
-// Ingestion is append-only: the Put* methods maintain the hash indices
-// (by-id, by-LFN, by-task, and the composite join-key indices Algorithm 1
-// probes) and the cached counters incrementally. The sorted time indices
-// behind the ranged queries Jobs and Transfers are built by Freeze, which
-// runs automatically on the first ranged query after an ingest; once
-// frozen, ranged queries are binary-search slices with no per-call
-// allocation beyond the label filter. Freeze also pre-resolves each job's
-// file rows to their candidate transfer buckets (JoinEntriesForJob), the
-// matcher's allocation-free per-job probe.
+// The store is sharded and columnar. Records route to one of N shards
+// (NewSharded; New picks DefaultShards) by a hash of their jeditaskid and
+// are value-copied into per-shard chunked arenas — contiguous slabs with
+// stable addresses and no per-record heap object. String attributes intern
+// through a store-global table at ingest: the composite join indices
+// Algorithm 1 probes are keyed by dense symbol tuples rather than string
+// quadruples, and repeated site/RSE/activity backings collapse onto one
+// allocation. Matching is task-local, so the matcher-facing probes
+// (JoinEntriesForJob, TaskTransfersByKey, FilesForJob, TransfersByTaskID)
+// touch exactly one shard; events without a jeditaskid spread round-robin
+// and never enter a task index.
+//
+// Ingestion is append-only and single-threaded: the Put* methods maintain
+// the per-shard hash indices and the cached counters incrementally. The
+// sorted time indices behind the ranged queries Jobs and Transfers are
+// built by Freeze — run eagerly by sim.Run, lazily by the first ranged
+// query — which sorts every shard concurrently and then merges the runs by
+// (time, ingestion sequence), making the result byte-identical to an
+// unsharded stable sort for any shard count. Freeze also pre-resolves each
+// job's file rows to their candidate transfer buckets (JoinEntriesForJob),
+// the matcher's allocation-free per-job probe. Queries return pointers
+// into the arenas; callers must not mutate results.
 //
 // Concurrency invariant: the store is safe for concurrent readers after
 // Freeze (the matcher's sharded pipeline relies on this); ingestion must
-// not run concurrently with queries. Reset empties a store for reuse while
-// keeping its index maps' capacity — the sweep engine gives each worker
-// one store across many scenarios via sim.RunReusing — and invalidates
-// everything previously obtained from it.
+// not run concurrently with queries. Reset empties a store for reuse —
+// arena high-water marks rewind keeping their chunks, index maps keep
+// capacity, and the intern table clears so a reused store cannot leak one
+// scenario's strings into the next (the sweep engine gives each worker one
+// store across many scenarios via sim.RunReusing). Reset invalidates
+// everything previously obtained from the store.
 package metastore

@@ -30,98 +30,173 @@ func EventKey(ev *records.TransferEvent) JoinKey {
 	return JoinKey{LFN: ev.LFN, Scope: ev.Scope, Dataset: ev.Dataset, ProdDBlock: ev.ProdDBlock}
 }
 
-// taskKey scopes a join key to one JEDI task — the probe the matcher
-// issues per file row, since candidate transfers must also carry the
-// job's jeditaskid.
-type taskKey struct {
-	task int64
-	key  JoinKey
-}
+// DefaultShards is the shard count New selects. Fixed rather than
+// GOMAXPROCS-derived so a store's layout is machine-independent; results
+// are byte-identical for any shard count regardless (see the equivalence
+// tests), so this is purely a performance default.
+const DefaultShards = 8
 
-// Store holds the three metadata indices.
+// Store holds the metadata indices, partitioned into independent shards by
+// jeditaskid hash. Records live in per-shard chunked arenas (no per-record
+// heap objects) with their string attributes canonicalized through a
+// store-global intern table; the join indices are keyed by 16-byte interned
+// symbol tuples instead of string quadruples. Matching is task-local, so
+// the matcher's probes (JoinEntriesForJob, TaskTransfersByKey) route to
+// exactly one shard; the time-ranged Jobs/Transfers queries answer from
+// store-level indices scatter-gathered from the per-shard sorted runs at
+// Freeze.
 type Store struct {
-	jobs      []*records.JobRecord
-	files     []*records.FileRecord
-	transfers []*records.TransferEvent
+	shards  []*shard
+	strings *internTable
+	seq     uint32 // global put sequence (jobs + transfers)
 
-	jobsByID     map[int64]*records.JobRecord
-	filesByPanda map[int64][]*records.FileRecord
-	evByLFN      map[string][]*records.TransferEvent
-	evByTask     map[int64][]*records.TransferEvent
-
-	// Composite join-key indices, maintained at ingest. Within a bucket,
-	// events stay in ingestion order, which keeps the indexed matcher's
-	// candidate order identical to the reference nested loop's.
-	evByKey     map[JoinKey][]*records.TransferEvent
-	evByTaskKey map[taskKey][]*records.TransferEvent
+	// jobsByID stays store-global: duplicate pandaids may hash to
+	// different shards, and the index must keep exact last-put-wins
+	// semantics. One pointer per job row.
+	jobsByID map[int64]*records.JobRecord
 
 	// Cached counters, maintained on PutTransfer.
 	withTaskID     int
 	taskByActivity map[records.Activity]int
 
-	// Sorted time indices, built by Freeze. jobsByEnd is ordered by
-	// EndTime, evByStart by StartedAt (ties keep ingestion order).
+	// Merged sorted time indices, built by Freeze from the per-shard runs.
+	// jobsByEnd is ordered by EndTime, evByStart by StartedAt (ties keep
+	// global ingestion order).
 	jobsByEnd []*records.JobRecord
 	evByStart []*records.TransferEvent
 
-	// entriesByJob holds each (pandaid, jeditaskid) group of file rows
-	// with their task-scoped join buckets pre-resolved at Freeze, so a
-	// matching probe is a single int-pair lookup plus slice scans — no
-	// string hashing and no allocation on the hot path.
-	entriesByJob map[pandaTask][]JoinEntry
+	// lfnIdx maps interned LFN symbols to that file's events in global
+	// ingestion order. It is built lazily on the first TransfersByLFN /
+	// TransfersByKey call — those queries are off the simulation and
+	// matching hot paths, and skipping the eager per-event map upkeep is a
+	// large share of the columnar layout's memory win.
+	lfnMu    sync.Mutex
+	lfnIdx   map[uint32][]*records.TransferEvent
+	lfnBuilt bool
 
 	frozen   atomic.Bool
 	freezeMu sync.Mutex
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{
+// New returns an empty store with DefaultShards shards.
+func New() *Store { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty store with n shards (n < 1 selects
+// DefaultShards). Every query result is byte-identical for any n; the knob
+// trades per-shard freeze/reset parallelism and matcher locality against
+// fixed per-shard overhead.
+func NewSharded(n int) *Store {
+	if n < 1 {
+		n = DefaultShards
+	}
+	s := &Store{
+		strings:        newInternTable(),
 		jobsByID:       make(map[int64]*records.JobRecord),
-		filesByPanda:   make(map[int64][]*records.FileRecord),
-		evByLFN:        make(map[string][]*records.TransferEvent),
-		evByTask:       make(map[int64][]*records.TransferEvent),
-		evByKey:        make(map[JoinKey][]*records.TransferEvent),
-		evByTaskKey:    make(map[taskKey][]*records.TransferEvent),
 		taskByActivity: make(map[records.Activity]int),
 	}
+	s.shards = make([]*shard, n)
+	for i := range s.shards {
+		s.shards[i] = newShard(s.strings)
+	}
+	return s
+}
+
+// ShardCount reports the number of shards.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// ShardFor returns the shard index owning a JEDI task — exposed so the
+// matcher pipeline can give each worker shard-affine job subsets (one
+// worker's probes then stay within one shard's arenas).
+func (s *Store) ShardFor(jediTaskID int64) int {
+	return int(mixTask(jediTaskID) % uint64(len(s.shards)))
+}
+
+// mixTask is the splitmix64 finalizer: a fixed, seed-free avalanche of the
+// task id so shard routing is deterministic across runs and processes.
+func mixTask(task int64) uint64 {
+	x := uint64(task)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (s *Store) nextSeq() uint32 {
+	s.seq++
+	return s.seq
 }
 
 // PutJob ingests a job record. Duplicate pandaids overwrite the index entry
 // but both rows are retained, mirroring the at-least-once semantics of the
-// production pipeline.
+// production pipeline. The record is copied into its shard's arena; the
+// caller's pointer is not retained.
 func (s *Store) PutJob(j *records.JobRecord) {
-	s.jobs = append(s.jobs, j)
-	s.jobsByID[j.PandaID] = j
+	cp := *j
+	cp.ComputingSite = s.strings.canon(cp.ComputingSite)
+	p := s.shards[s.ShardFor(cp.JediTaskID)].putJob(cp, s.nextSeq())
+	s.jobsByID[cp.PandaID] = p
 	s.frozen.Store(false)
 }
 
-// PutFile ingests a JEDI file-table row.
+// PutFile ingests a JEDI file-table row, interning its join attributes. The
+// record is copied into its shard's arena.
 func (s *Store) PutFile(f *records.FileRecord) {
-	s.files = append(s.files, f)
-	s.filesByPanda[f.PandaID] = append(s.filesByPanda[f.PandaID], f)
+	cp := *f
+	cp.LFN = s.strings.canon(cp.LFN)
+	cp.Scope = s.strings.canon(cp.Scope)
+	cp.Dataset = s.strings.canon(cp.Dataset)
+	cp.ProdDBlock = s.strings.canon(cp.ProdDBlock)
+	s.shards[s.ShardFor(cp.JediTaskID)].putFile(cp)
 	s.frozen.Store(false)
 }
 
-// PutTransfer ingests a transfer event.
+// PutTransfer ingests a transfer event, interning its join attributes and
+// endpoint/activity labels. Events carrying a jeditaskid are routed to
+// their task's shard (keeping the matcher's candidate buckets
+// shard-complete); task-less background events are spread round-robin for
+// balance — no task-local index ever sees them.
 func (s *Store) PutTransfer(ev *records.TransferEvent) {
-	s.transfers = append(s.transfers, ev)
-	s.evByLFN[ev.LFN] = append(s.evByLFN[ev.LFN], ev)
-	key := EventKey(ev)
-	s.evByKey[key] = append(s.evByKey[key], ev)
-	if ev.JediTaskID != 0 {
-		s.evByTask[ev.JediTaskID] = append(s.evByTask[ev.JediTaskID], ev)
-		s.evByTaskKey[taskKey{ev.JediTaskID, key}] = append(s.evByTaskKey[taskKey{ev.JediTaskID, key}], ev)
-		s.withTaskID++
-		s.taskByActivity[ev.Activity]++
+	cp := *ev
+	key := symKey{
+		lfn:        s.strings.sym(cp.LFN),
+		scope:      s.strings.sym(cp.Scope),
+		dataset:    s.strings.sym(cp.Dataset),
+		prodDBlock: s.strings.sym(cp.ProdDBlock),
 	}
+	cp.LFN = s.strings.strs[key.lfn]
+	cp.Scope = s.strings.strs[key.scope]
+	cp.Dataset = s.strings.strs[key.dataset]
+	cp.ProdDBlock = s.strings.strs[key.prodDBlock]
+	cp.SourceRSE = s.strings.canon(cp.SourceRSE)
+	cp.DestinationRSE = s.strings.canon(cp.DestinationRSE)
+	cp.SourceSite = s.strings.canon(cp.SourceSite)
+	cp.DestinationSite = s.strings.canon(cp.DestinationSite)
+	cp.Activity = records.Activity(s.strings.canon(string(cp.Activity)))
+
+	seq := s.nextSeq()
+	var sh *shard
+	if cp.JediTaskID != 0 {
+		sh = s.shards[s.ShardFor(cp.JediTaskID)]
+		s.withTaskID++
+		s.taskByActivity[cp.Activity]++
+	} else {
+		sh = s.shards[int(seq)%len(s.shards)]
+	}
+	sh.putTransfer(cp, key, seq)
+	s.lfnBuilt = false
 	s.frozen.Store(false)
 }
 
-// Freeze builds the sorted time indices. It is idempotent, runs implicitly
-// on the first ranged query after an ingest, and is safe to call from
-// concurrent readers; calling it eagerly (as sim.Run does) keeps the query
-// path lock-free.
+// Freeze builds the sorted time indices and the pre-resolved join entries.
+// The per-shard work (sorting, join-entry binding) runs concurrently, one
+// goroutine per shard; the sorted runs are then merged into the store-level
+// indices by (time, ingestion sequence), which makes the result
+// byte-identical to a single-store stable sort. Freeze is idempotent, runs
+// implicitly on the first ranged query after an ingest, and is safe to call
+// from concurrent readers; calling it eagerly (as sim.Run does) keeps the
+// query path lock-free.
 func (s *Store) Freeze() {
 	if s.frozen.Load() {
 		return
@@ -131,63 +206,74 @@ func (s *Store) Freeze() {
 	if s.frozen.Load() {
 		return
 	}
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.freeze()
+		}(sh)
+	}
+	wg.Wait()
+
+	jobRuns := make([][]*records.JobRecord, len(s.shards))
+	jobSeqs := make([][]uint32, len(s.shards))
+	evRuns := make([][]*records.TransferEvent, len(s.shards))
+	evSeqs := make([][]uint32, len(s.shards))
+	for i, sh := range s.shards {
+		jobRuns[i], jobSeqs[i] = sh.jobsByEnd, sh.jobsEndSeq
+		evRuns[i], evSeqs[i] = sh.evByStart, sh.evStartSeq
+	}
 	// Fresh arrays every build: ranged queries alias these, so a rebuild
-	// after further ingestion must not sort under slices already handed
-	// out to callers.
-	s.jobsByEnd = append([]*records.JobRecord(nil), s.jobs...)
-	sort.SliceStable(s.jobsByEnd, func(i, k int) bool {
-		return s.jobsByEnd[i].EndTime < s.jobsByEnd[k].EndTime
-	})
-	s.evByStart = append([]*records.TransferEvent(nil), s.transfers...)
-	sort.SliceStable(s.evByStart, func(i, k int) bool {
-		return s.evByStart[i].StartedAt < s.evByStart[k].StartedAt
-	})
-	s.entriesByJob = make(map[pandaTask][]JoinEntry, len(s.filesByPanda))
-	for _, f := range s.files {
-		k := pandaTask{f.PandaID, f.JediTaskID}
-		s.entriesByJob[k] = append(s.entriesByJob[k], JoinEntry{
-			File:       f,
-			Candidates: s.evByTaskKey[taskKey{f.JediTaskID, FileKey(f)}],
-		})
+	// after further ingestion must not disturb slices already handed out
+	// (mergeRuns always allocates for >1 shard, and the single-shard run is
+	// itself freshly built by shard.freeze).
+	s.jobsByEnd = mergeRuns(jobRuns, jobSeqs,
+		func(j *records.JobRecord) simtime.VTime { return j.EndTime })
+	s.evByStart = mergeRuns(evRuns, evSeqs,
+		func(ev *records.TransferEvent) simtime.VTime { return ev.StartedAt })
+	for _, sh := range s.shards {
+		sh.releaseRuns()
 	}
 	s.frozen.Store(true)
 }
 
-// Reset empties the store for reuse while keeping the allocated index maps
-// and record slices, so a long-lived store (one per sweep worker, say) does
-// not rebuild its hash tables from scratch for every scenario. After Reset
-// the store is unfrozen and indistinguishable from New()'s result — except
-// that any records, query results, or join entries previously obtained from
-// it are invalidated and must not be used.
+// Reset empties the store for reuse while keeping the arena chunks, index
+// maps, and intern-table capacity, so a long-lived store (one per sweep
+// worker, say) does not rebuild from scratch for every scenario. Shards
+// reset concurrently. The intern table's contents are cleared too — symbols
+// restart at zero and the previous scenario's strings are released, so a
+// reused worker store cannot leak strings across sweep scenarios. After
+// Reset the store is unfrozen and indistinguishable from New()'s result —
+// except that any records, query results, or join entries previously
+// obtained from it are invalidated and must not be used.
 //
 // Reset must not run concurrently with ingestion or queries; the sweep
 // engine guarantees this by giving each worker goroutine its own store.
 func (s *Store) Reset() {
 	s.freezeMu.Lock()
 	defer s.freezeMu.Unlock()
-	// Zero the record slices before truncating: the backing arrays are kept
-	// for capacity, but stale pointers in the tail would pin the previous
-	// scenario's records for the store's whole lifetime.
-	clear(s.jobs)
-	s.jobs = s.jobs[:0]
-	clear(s.files)
-	s.files = s.files[:0]
-	clear(s.transfers)
-	s.transfers = s.transfers[:0]
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.reset()
+		}(sh)
+	}
+	wg.Wait()
 	clear(s.jobsByID)
-	clear(s.filesByPanda)
-	clear(s.evByLFN)
-	clear(s.evByTask)
-	clear(s.evByKey)
-	clear(s.evByTaskKey)
+	s.strings.reset()
+	s.seq = 0
 	s.withTaskID = 0
 	clear(s.taskByActivity)
-	// The frozen indices are rebuilt from scratch by every Freeze (ranged
+	// The merged indices are rebuilt from scratch by every Freeze (ranged
 	// queries alias them), so there is no capacity worth keeping — drop the
 	// references and let the old arrays go.
 	s.jobsByEnd = nil
 	s.evByStart = nil
-	s.entriesByJob = nil
+	s.lfnIdx = nil
+	s.lfnBuilt = false
 	s.frozen.Store(false)
 }
 
@@ -206,18 +292,43 @@ type JoinEntry struct {
 }
 
 // JoinEntriesForJob returns the job's file rows (Algorithm 1's F'_j) with
-// their join buckets resolved — the matcher's per-job probe. The groups
-// and buckets are bound at Freeze, so the call does no join-key hashing
-// and no allocation.
+// their join buckets resolved — the matcher's per-job probe. The groups and
+// buckets are bound at Freeze and live entirely in the task's shard, so the
+// call is one hash route plus one map lookup — no join-key hashing and no
+// allocation.
 func (s *Store) JoinEntriesForJob(pandaID, jediTaskID int64) []JoinEntry {
 	s.Freeze()
-	return s.entriesByJob[pandaTask{pandaID, jediTaskID}]
+	return s.shards[s.ShardFor(jediTaskID)].entriesByJob[pandaTask{pandaID, jediTaskID}]
 }
 
 // Counts of ingested records.
-func (s *Store) JobCount() int      { return len(s.jobs) }
-func (s *Store) FileCount() int     { return len(s.files) }
-func (s *Store) TransferCount() int { return len(s.transfers) }
+func (s *Store) JobCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.jobs.len()
+	}
+	return n
+}
+
+func (s *Store) FileCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.files.len()
+	}
+	return n
+}
+
+func (s *Store) TransferCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.events.len()
+	}
+	return n
+}
+
+// InternedStrings reports the number of distinct strings in the intern
+// table — observability for the string-leak contract of Reset.
+func (s *Store) InternedStrings() int { return s.strings.size() }
 
 // TransfersWithTaskID counts events that retained a valid jeditaskid (the
 // paper's 1,585,229 of 6,784,936). The counter is maintained at ingest.
@@ -236,7 +347,7 @@ func (s *Store) TaskTransfersByActivity() map[records.Activity]int {
 // Jobs returns the jobs with EndTime in [from, to) and the given label
 // ("" = any), sorted by pandaid. This mirrors the paper's query semantics:
 // only jobs completed inside the window are reported. The window is
-// resolved by binary search over the EndTime index.
+// resolved by binary search over the merged EndTime index.
 func (s *Store) Jobs(from, to simtime.VTime, label records.SourceLabel) []*records.JobRecord {
 	s.Freeze()
 	seg := timeRange(s.jobsByEnd, from, to, func(j *records.JobRecord) simtime.VTime { return j.EndTime })
@@ -261,17 +372,18 @@ func timeRange[T any](sorted []T, from, to simtime.VTime, at func(T) simtime.VTi
 	return sorted[lo:hi]
 }
 
-// Job resolves a pandaid.
+// Job resolves a pandaid (the latest ingested row for duplicate ids).
 func (s *Store) Job(pandaID int64) (*records.JobRecord, bool) {
 	j, ok := s.jobsByID[pandaID]
 	return j, ok
 }
 
 // FilesForJob returns the JEDI file rows carrying the given pandaid and
-// jeditaskid — Algorithm 1's F'_j subset.
+// jeditaskid — Algorithm 1's F'_j subset. File rows live in their task's
+// shard, so this probes exactly one shard.
 func (s *Store) FilesForJob(pandaID, jediTaskID int64) []*records.FileRecord {
 	var out []*records.FileRecord
-	for _, f := range s.filesByPanda[pandaID] {
+	for _, f := range s.shards[s.ShardFor(jediTaskID)].filesByPanda[pandaID] {
 		if f.JediTaskID == jediTaskID {
 			out = append(out, f)
 		}
@@ -279,34 +391,100 @@ func (s *Store) FilesForJob(pandaID, jediTaskID int64) []*records.FileRecord {
 	return out
 }
 
-// TransfersByLFN returns the transfer events for one logical file name.
+// TransfersByLFN returns the transfer events for one logical file name, in
+// ingestion order. Served from the lazily built per-LFN index (see lfnIdx);
+// the first call after an ingest pays the build.
 func (s *Store) TransfersByLFN(lfn string) []*records.TransferEvent {
-	return s.evByLFN[lfn]
+	id, ok := s.strings.lookup(lfn)
+	if !ok {
+		return nil
+	}
+	return s.lfnIndex()[id]
 }
 
-// TransfersByTaskID returns the transfer events carrying a jeditaskid.
+// lfnIndex returns the per-LFN buckets, building them on first use by
+// merging the shards' event arenas in global ingestion order.
+func (s *Store) lfnIndex() map[uint32][]*records.TransferEvent {
+	s.lfnMu.Lock()
+	defer s.lfnMu.Unlock()
+	if s.lfnBuilt {
+		return s.lfnIdx
+	}
+	idx := make(map[uint32][]*records.TransferEvent)
+	heads := make([]int, len(s.shards))
+	remaining := s.TransferCount()
+	for remaining > 0 {
+		best := -1
+		for i, sh := range s.shards {
+			if heads[i] >= sh.events.len() {
+				continue
+			}
+			if best == -1 || sh.evSeq[heads[i]] < s.shards[best].evSeq[heads[best]] {
+				best = i
+			}
+		}
+		ev := s.shards[best].events.at(heads[best])
+		if id, ok := s.strings.lookup(ev.LFN); ok {
+			idx[id] = append(idx[id], ev)
+		}
+		heads[best]++
+		remaining--
+	}
+	s.lfnIdx = idx
+	s.lfnBuilt = true
+	return idx
+}
+
+// TransfersByTaskID returns the transfer events carrying a jeditaskid, in
+// ingestion order — a single-shard probe.
 func (s *Store) TransfersByTaskID(jedi int64) []*records.TransferEvent {
-	return s.evByTask[jedi]
+	return s.shards[s.ShardFor(jedi)].evByTask[jedi]
 }
 
 // TransfersByKey returns the events sharing one composite join key, in
-// ingestion order.
+// ingestion order — the per-LFN bucket narrowed by the remaining three
+// attributes (LFNs rarely repeat across keys, so the filter scans a
+// handful of events).
 func (s *Store) TransfersByKey(key JoinKey) []*records.TransferEvent {
-	return s.evByKey[key]
+	var out []*records.TransferEvent
+	for _, ev := range s.TransfersByLFN(key.LFN) {
+		if ev.Scope == key.Scope && ev.Dataset == key.Dataset && ev.ProdDBlock == key.ProdDBlock {
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 // TaskTransfersByKey returns the events of one JEDI task sharing the join
-// key — the per-file probe of the indexed matcher. Events without a valid
-// jeditaskid are never in this index, preserving the paper's
-// "transfers with a valid jeditaskid" pre-selection.
+// key — the per-file probe of the indexed matcher, answered entirely by the
+// task's shard. Events without a valid jeditaskid are never in this index,
+// preserving the paper's "transfers with a valid jeditaskid" pre-selection.
 func (s *Store) TaskTransfersByKey(jedi int64, key JoinKey) []*records.TransferEvent {
-	return s.evByTaskKey[taskKey{jedi, key}]
+	lfn, ok := s.strings.lookup(key.LFN)
+	if !ok {
+		return nil
+	}
+	scope, ok := s.strings.lookup(key.Scope)
+	if !ok {
+		return nil
+	}
+	ds, ok := s.strings.lookup(key.Dataset)
+	if !ok {
+		return nil
+	}
+	pdb, ok := s.strings.lookup(key.ProdDBlock)
+	if !ok {
+		return nil
+	}
+	sk := taskSymKey{jedi, symKey{lfn, scope, ds, pdb}}
+	return s.shards[s.ShardFor(jedi)].evByTaskKey[sk]
 }
 
 // Transfers returns events with StartedAt in [from, to); from==to==0 means
-// everything. Events are ordered by StartedAt (ties in ingestion order);
-// the window is resolved by binary search over the StartedAt index and the
-// returned slice aliases the index, so callers must not modify it.
+// everything. Events are ordered by StartedAt (ties in global ingestion
+// order); the window is resolved by binary search over the merged StartedAt
+// index and the returned slice aliases the index, so callers must not
+// modify it.
 func (s *Store) Transfers(from, to simtime.VTime) []*records.TransferEvent {
 	s.Freeze()
 	if from == 0 && to == 0 {

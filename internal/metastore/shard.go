@@ -1,0 +1,202 @@
+package metastore
+
+import (
+	"sort"
+
+	"panrucio/internal/records"
+	"panrucio/internal/simtime"
+)
+
+// shard is one horizontal partition of the store. Jobs and JEDI file rows
+// are routed here by jeditaskid hash; transfer events carrying a jeditaskid
+// follow their task, task-less (background) events are spread round-robin.
+// Matching is task-local, so every per-task index is shard-complete: the
+// matcher's JoinEntriesForJob/TaskTransfersByKey probes touch exactly one
+// shard. Only the time-ranged queries need cross-shard data, and those are
+// served by the store-level indices merged from the per-shard sorted runs
+// at Freeze.
+type shard struct {
+	strings *internTable // shared, read-only during freeze
+
+	jobs   arena[records.JobRecord]
+	files  arena[records.FileRecord]
+	events arena[records.TransferEvent]
+
+	// Global put sequence per arena row. Rows within a shard are already in
+	// global ingestion order; the sequences order rows across shards when
+	// the per-shard sorted runs are merged (time ties keep ingestion order)
+	// and when per-LFN buckets are built.
+	jobSeq []uint32
+	evSeq  []uint32
+
+	filesByPanda map[int64][]*records.FileRecord
+	evByTask     map[int64][]*records.TransferEvent
+	evByTaskKey  map[taskSymKey][]*records.TransferEvent
+	entriesByJob map[pandaTask][]JoinEntry
+
+	// Freeze scratch: sorted runs handed to the store-level merge, released
+	// once the merged indices are built.
+	jobsByEnd  []*records.JobRecord
+	jobsEndSeq []uint32
+	evByStart  []*records.TransferEvent
+	evStartSeq []uint32
+}
+
+func newShard(strings *internTable) *shard {
+	return &shard{
+		strings:      strings,
+		filesByPanda: make(map[int64][]*records.FileRecord),
+		evByTask:     make(map[int64][]*records.TransferEvent),
+		evByTaskKey:  make(map[taskSymKey][]*records.TransferEvent),
+	}
+}
+
+// putJob ingests one job row (already canonicalized by the store).
+func (sh *shard) putJob(j records.JobRecord, seq uint32) *records.JobRecord {
+	p := sh.jobs.put(j)
+	sh.jobSeq = append(sh.jobSeq, seq)
+	return p
+}
+
+// putFile ingests one file row (already canonicalized by the store).
+func (sh *shard) putFile(f records.FileRecord) *records.FileRecord {
+	p := sh.files.put(f)
+	sh.filesByPanda[f.PandaID] = append(sh.filesByPanda[f.PandaID], p)
+	return p
+}
+
+// putTransfer ingests one event row (already canonicalized by the store);
+// key is the event's interned join key.
+func (sh *shard) putTransfer(ev records.TransferEvent, key symKey, seq uint32) *records.TransferEvent {
+	p := sh.events.put(ev)
+	sh.evSeq = append(sh.evSeq, seq)
+	if ev.JediTaskID != 0 {
+		sh.evByTask[ev.JediTaskID] = append(sh.evByTask[ev.JediTaskID], p)
+		tk := taskSymKey{ev.JediTaskID, key}
+		sh.evByTaskKey[tk] = append(sh.evByTaskKey[tk], p)
+	}
+	return p
+}
+
+// freeze builds the shard's sorted time runs and the pre-resolved join
+// entries. Shards freeze concurrently: each touches only its own arenas and
+// indices plus read-only lookups in the shared intern table.
+func (sh *shard) freeze() {
+	sh.jobsByEnd, sh.jobsEndSeq = sortedRun(&sh.jobs, sh.jobSeq,
+		func(j *records.JobRecord) simtime.VTime { return j.EndTime })
+	sh.evByStart, sh.evStartSeq = sortedRun(&sh.events, sh.evSeq,
+		func(ev *records.TransferEvent) simtime.VTime { return ev.StartedAt })
+
+	sh.entriesByJob = make(map[pandaTask][]JoinEntry, len(sh.filesByPanda))
+	for i, n := 0, sh.files.len(); i < n; i++ {
+		f := sh.files.at(i)
+		key, ok := sh.fileSymKey(f)
+		var candidates []*records.TransferEvent
+		if ok {
+			candidates = sh.evByTaskKey[taskSymKey{f.JediTaskID, key}]
+		}
+		k := pandaTask{f.PandaID, f.JediTaskID}
+		sh.entriesByJob[k] = append(sh.entriesByJob[k], JoinEntry{File: f, Candidates: candidates})
+	}
+}
+
+// fileSymKey resolves a file row's interned join key. The row's fields were
+// canonicalized at ingest, so a miss is impossible for rows this store
+// ingested; the ok return guards the contract anyway.
+func (sh *shard) fileSymKey(f *records.FileRecord) (symKey, bool) {
+	lfn, ok1 := sh.strings.lookup(f.LFN)
+	scope, ok2 := sh.strings.lookup(f.Scope)
+	ds, ok3 := sh.strings.lookup(f.Dataset)
+	pdb, ok4 := sh.strings.lookup(f.ProdDBlock)
+	return symKey{lfn, scope, ds, pdb}, ok1 && ok2 && ok3 && ok4
+}
+
+// releaseRuns drops the freeze scratch once the store-level merge has
+// consumed it, so steady-state memory holds one sorted copy per index, not
+// two.
+func (sh *shard) releaseRuns() {
+	sh.jobsByEnd, sh.jobsEndSeq = nil, nil
+	sh.evByStart, sh.evStartSeq = nil, nil
+}
+
+// reset rewinds the shard for reuse, keeping arena chunks and map capacity.
+func (sh *shard) reset() {
+	sh.jobs.reset()
+	sh.files.reset()
+	sh.events.reset()
+	sh.jobSeq = sh.jobSeq[:0]
+	sh.evSeq = sh.evSeq[:0]
+	clear(sh.filesByPanda)
+	clear(sh.evByTask)
+	clear(sh.evByTaskKey)
+	sh.entriesByJob = nil
+	sh.releaseRuns()
+}
+
+// sortedRun stable-sorts one arena's rows by a time key. Arena order is
+// ingestion order, so the run comes out ordered by (time, local ingestion
+// order) with the matching global sequences alongside for the merge.
+func sortedRun[T any](a *arena[T], seqs []uint32, at func(*T) simtime.VTime) ([]*T, []uint32) {
+	n := a.len()
+	ptrs := make([]*T, n)
+	for i := 0; i < n; i++ {
+		ptrs[i] = a.at(i)
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(i, k int) bool {
+		return at(ptrs[perm[i]]) < at(ptrs[perm[k]])
+	})
+	outP := make([]*T, n)
+	outS := make([]uint32, n)
+	for i, p := range perm {
+		outP[i] = ptrs[p]
+		outS[i] = seqs[p]
+	}
+	return outP, outS
+}
+
+// mergeRuns k-way-merges per-shard sorted runs into one globally sorted
+// index, ordering by (time, global sequence) — byte-identical to stable-
+// sorting the full ingest stream, for any shard count. Time keys are
+// extracted once up front so the merge loop compares plain integers.
+func mergeRuns[T any](runs [][]*T, seqs [][]uint32, at func(*T) simtime.VTime) []*T {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	total := 0
+	times := make([][]simtime.VTime, len(runs))
+	for i, run := range runs {
+		total += len(run)
+		ts := make([]simtime.VTime, len(run))
+		for k, p := range run {
+			ts[k] = at(p)
+		}
+		times[i] = ts
+	}
+	out := make([]*T, 0, total)
+	heads := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i := range runs {
+			h := heads[i]
+			if h >= len(runs[i]) {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			hb := heads[best]
+			if times[i][h] < times[best][hb] ||
+				(times[i][h] == times[best][hb] && seqs[i][h] < seqs[best][hb]) {
+				best = i
+			}
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}

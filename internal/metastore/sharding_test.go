@@ -1,0 +1,287 @@
+package metastore_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"panrucio/internal/metastore"
+	"panrucio/internal/records"
+	"panrucio/internal/simtime"
+)
+
+// randomStream generates a deterministic pseudo-random put stream designed
+// to stress the sharding invariants: duplicate pandaids, task-less
+// background events, arbitrary (non-monotonic) event ids, heavy time-key
+// ties, and join keys shared across tasks.
+type randomStream struct {
+	jobs  []records.JobRecord
+	files []records.FileRecord
+	evs   []records.TransferEvent
+	puts  []int // interleave: 0=job, 1=file, 2=transfer, in stream order
+}
+
+func makeStream(seed int64, n int) *randomStream {
+	rng := rand.New(rand.NewSource(seed))
+	st := &randomStream{}
+	labels := []records.SourceLabel{records.LabelUser, records.LabelManaged}
+	acts := []records.Activity{records.AnalysisDownload, records.ProductionUp, records.DataRebalancing}
+	for i := 0; i < n; i++ {
+		task := int64(rng.Intn(17)) // small pool → many shard collisions, incl. 0
+		switch k := rng.Intn(4); k {
+		case 0:
+			st.jobs = append(st.jobs, records.JobRecord{
+				PandaID:    int64(rng.Intn(40)), // duplicates guaranteed
+				JediTaskID: task,
+				Label:      labels[rng.Intn(2)],
+				EndTime:    simtime.VTime(rng.Intn(20)), // heavy EndTime ties
+				StartTime:  simtime.VTime(rng.Intn(10)),
+			})
+			st.puts = append(st.puts, 0)
+		case 1:
+			st.files = append(st.files, records.FileRecord{
+				PandaID:    int64(rng.Intn(40)),
+				JediTaskID: task,
+				LFN:        fmt.Sprintf("f%d", rng.Intn(25)),
+				Scope:      "s",
+				Dataset:    fmt.Sprintf("d%d", rng.Intn(5)),
+				ProdDBlock: "p",
+				Kind:       records.FileInput,
+			})
+			st.puts = append(st.puts, 1)
+		default:
+			if rng.Intn(3) == 0 {
+				task = 0 // task-less background event
+			}
+			st.evs = append(st.evs, records.TransferEvent{
+				EventID:    int64(rng.Intn(1 << 30)), // arbitrary, non-monotonic
+				JediTaskID: task,
+				LFN:        fmt.Sprintf("f%d", rng.Intn(25)),
+				Scope:      "s",
+				Dataset:    fmt.Sprintf("d%d", rng.Intn(5)),
+				ProdDBlock: "p",
+				Activity:   acts[rng.Intn(3)],
+				StartedAt:  simtime.VTime(rng.Intn(20)), // heavy StartedAt ties
+				EndedAt:    simtime.VTime(20 + rng.Intn(20)),
+			})
+			st.puts = append(st.puts, 2)
+		}
+	}
+	return st
+}
+
+// ingest replays the stream into the store in its recorded order.
+func (st *randomStream) ingest(s *metastore.Store) {
+	var j, f, e int
+	for _, k := range st.puts {
+		switch k {
+		case 0:
+			s.PutJob(&st.jobs[j])
+			j++
+		case 1:
+			s.PutFile(&st.files[f])
+			f++
+		default:
+			s.PutTransfer(&st.evs[e])
+			e++
+		}
+	}
+	s.Freeze()
+}
+
+// evValues flattens a query result to comparable values (the stores copy
+// records into their own arenas, so pointer identity never matches).
+func evValues(evs []*records.TransferEvent) []records.TransferEvent {
+	out := make([]records.TransferEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = *ev
+	}
+	return out
+}
+
+func jobValues(js []*records.JobRecord) []records.JobRecord {
+	out := make([]records.JobRecord, len(js))
+	for i, j := range js {
+		out[i] = *j
+	}
+	return out
+}
+
+// TestShardCountEquivalence is the core invariant of the sharded store:
+// every query surface returns byte-identical results for any shard count.
+func TestShardCountEquivalence(t *testing.T) {
+	st := makeStream(42, 4000)
+	ref := metastore.NewSharded(1)
+	st.ingest(ref)
+
+	for _, n := range []int{4, 8} {
+		s := metastore.NewSharded(n)
+		st.ingest(s)
+
+		if s.ShardCount() != n {
+			t.Fatalf("ShardCount() = %d, want %d", s.ShardCount(), n)
+		}
+		if s.JobCount() != ref.JobCount() || s.FileCount() != ref.FileCount() ||
+			s.TransferCount() != ref.TransferCount() ||
+			s.TransfersWithTaskID() != ref.TransfersWithTaskID() {
+			t.Fatalf("shards=%d: counts diverged", n)
+		}
+		if !reflect.DeepEqual(s.TaskTransfersByActivity(), ref.TaskTransfersByActivity()) {
+			t.Errorf("shards=%d: TaskTransfersByActivity diverged", n)
+		}
+
+		// Full and windowed time-ranged queries, with and without label.
+		if !reflect.DeepEqual(evValues(s.Transfers(0, 0)), evValues(ref.Transfers(0, 0))) {
+			t.Fatalf("shards=%d: Transfers(0,0) diverged", n)
+		}
+		if !reflect.DeepEqual(evValues(s.Transfers(5, 15)), evValues(ref.Transfers(5, 15))) {
+			t.Errorf("shards=%d: windowed Transfers diverged", n)
+		}
+		for _, label := range []records.SourceLabel{"", records.LabelUser, records.LabelManaged} {
+			if !reflect.DeepEqual(jobValues(s.Jobs(0, 100, label)), jobValues(ref.Jobs(0, 100, label))) {
+				t.Errorf("shards=%d: Jobs(label=%q) diverged", n, label)
+			}
+		}
+
+		// Point and per-task probes over the whole key space of the stream.
+		for panda := int64(0); panda < 40; panda++ {
+			sj, sok := s.Job(panda)
+			rj, rok := ref.Job(panda)
+			if sok != rok || (sok && *sj != *rj) {
+				t.Fatalf("shards=%d: Job(%d) diverged", n, panda)
+			}
+			for task := int64(0); task < 17; task++ {
+				sf, rf := s.FilesForJob(panda, task), ref.FilesForJob(panda, task)
+				if len(sf) != len(rf) {
+					t.Fatalf("shards=%d: FilesForJob(%d,%d) diverged", n, panda, task)
+				}
+				for i := range sf {
+					if *sf[i] != *rf[i] {
+						t.Fatalf("shards=%d: FilesForJob(%d,%d)[%d] diverged", n, panda, task, i)
+					}
+				}
+				se, re := s.JoinEntriesForJob(panda, task), ref.JoinEntriesForJob(panda, task)
+				if len(se) != len(re) {
+					t.Fatalf("shards=%d: JoinEntriesForJob(%d,%d) diverged", n, panda, task)
+				}
+				for i := range se {
+					if *se[i].File != *re[i].File ||
+						!reflect.DeepEqual(evValues(se[i].Candidates), evValues(re[i].Candidates)) {
+						t.Fatalf("shards=%d: JoinEntriesForJob(%d,%d)[%d] diverged", n, panda, task, i)
+					}
+				}
+			}
+		}
+		for task := int64(0); task < 17; task++ {
+			if !reflect.DeepEqual(evValues(s.TransfersByTaskID(task)), evValues(ref.TransfersByTaskID(task))) {
+				t.Errorf("shards=%d: TransfersByTaskID(%d) diverged", n, task)
+			}
+		}
+		for lfn := 0; lfn < 25; lfn++ {
+			name := fmt.Sprintf("f%d", lfn)
+			if !reflect.DeepEqual(evValues(s.TransfersByLFN(name)), evValues(ref.TransfersByLFN(name))) {
+				t.Fatalf("shards=%d: TransfersByLFN(%q) diverged", n, name)
+			}
+			for ds := 0; ds < 5; ds++ {
+				key := metastore.JoinKey{LFN: name, Scope: "s", Dataset: fmt.Sprintf("d%d", ds), ProdDBlock: "p"}
+				if !reflect.DeepEqual(evValues(s.TransfersByKey(key)), evValues(ref.TransfersByKey(key))) {
+					t.Errorf("shards=%d: TransfersByKey(%v) diverged", n, key)
+				}
+				for task := int64(1); task < 17; task++ {
+					if !reflect.DeepEqual(
+						evValues(s.TaskTransfersByKey(task, key)),
+						evValues(ref.TaskTransfersByKey(task, key))) {
+						t.Errorf("shards=%d: TaskTransfersByKey(%d,%v) diverged", n, task, key)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestResetClearsInternTable is the string-leak contract: a reused store
+// must not pin one scenario's strings (or symbols) through the next.
+func TestResetClearsInternTable(t *testing.T) {
+	s := metastore.NewSharded(4)
+	st := makeStream(7, 500)
+	st.ingest(s)
+	if s.InternedStrings() == 0 {
+		t.Fatal("ingest interned nothing")
+	}
+	s.Reset()
+	if got := s.InternedStrings(); got != 0 {
+		t.Fatalf("Reset left %d interned strings", got)
+	}
+	if s.JobCount() != 0 || s.FileCount() != 0 || s.TransferCount() != 0 ||
+		s.TransfersWithTaskID() != 0 {
+		t.Fatal("Reset left records behind")
+	}
+	if len(s.Transfers(0, 0)) != 0 || len(s.Jobs(0, 1<<40, "")) != 0 {
+		t.Fatal("Reset left indexed entries behind")
+	}
+	if len(s.TransfersByLFN("f1")) != 0 {
+		t.Fatal("Reset left LFN buckets behind")
+	}
+}
+
+// TestResetReusedStoreMatchesFresh replays scenario B on a store dirtied by
+// scenario A; every query surface must match a fresh store that only ever
+// saw B.
+func TestResetReusedStoreMatchesFresh(t *testing.T) {
+	a, b := makeStream(1, 3000), makeStream(2, 3000)
+
+	fresh := metastore.NewSharded(4)
+	b.ingest(fresh)
+
+	reused := metastore.NewSharded(4)
+	a.ingest(reused)
+	reused.Reset()
+	b.ingest(reused)
+
+	if reused.InternedStrings() != fresh.InternedStrings() {
+		t.Errorf("interned strings diverged after reuse: %d vs %d",
+			reused.InternedStrings(), fresh.InternedStrings())
+	}
+	if !reflect.DeepEqual(evValues(reused.Transfers(0, 0)), evValues(fresh.Transfers(0, 0))) {
+		t.Fatal("Transfers diverged after reuse")
+	}
+	if !reflect.DeepEqual(jobValues(reused.Jobs(0, 100, "")), jobValues(fresh.Jobs(0, 100, ""))) {
+		t.Fatal("Jobs diverged after reuse")
+	}
+	for panda := int64(0); panda < 40; panda++ {
+		for task := int64(0); task < 17; task++ {
+			re, fe := reused.JoinEntriesForJob(panda, task), fresh.JoinEntriesForJob(panda, task)
+			if len(re) != len(fe) {
+				t.Fatalf("JoinEntriesForJob(%d,%d) diverged after reuse", panda, task)
+			}
+			for i := range re {
+				if *re[i].File != *fe[i].File ||
+					!reflect.DeepEqual(evValues(re[i].Candidates), evValues(fe[i].Candidates)) {
+					t.Fatalf("JoinEntriesForJob(%d,%d)[%d] diverged after reuse", panda, task, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPutCopiesRecords pins the arena-copy semantics: the store must not
+// retain the caller's pointers, so producers may reuse their structs.
+func TestPutCopiesRecords(t *testing.T) {
+	s := metastore.New()
+	ev := records.TransferEvent{EventID: 1, LFN: "f", Scope: "s", Dataset: "d", ProdDBlock: "p", JediTaskID: 3, StartedAt: 5}
+	s.PutTransfer(&ev)
+	ev.LFN = "clobbered"
+	ev.EventID = 999
+	got := s.TransfersByTaskID(3)
+	if len(got) != 1 || got[0].LFN != "f" || got[0].EventID != 1 {
+		t.Fatalf("store aliased the caller's record: %+v", got[0])
+	}
+
+	j := records.JobRecord{PandaID: 9, JediTaskID: 3, EndTime: 4}
+	s.PutJob(&j)
+	j.PandaID = 1000
+	if stored, ok := s.Job(9); !ok || stored.PandaID != 9 {
+		t.Fatal("store aliased the caller's job record")
+	}
+}

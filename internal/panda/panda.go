@@ -95,7 +95,9 @@ type BrokerPolicy interface {
 	// Name identifies the policy in experiment reports.
 	Name() string
 	// Choose returns the computing site for the job. The System exposes
-	// read-only state (grid, catalog, per-site load) for scoring.
+	// read-only state (grid, catalog, per-site load) for scoring. The rng
+	// is recycled after the task's jobs are enqueued — draw from it only
+	// during the call, never retain it.
 	Choose(j *Job, s *System, rng *simtime.RNG) string
 }
 
@@ -187,6 +189,16 @@ type System struct {
 	siteNames  []string
 	cpuWeights []float64
 
+	// siteBytes is the brokerage scratch map reused by inputBytesBySite
+	// (the engine is single-threaded, so one buffer suffices).
+	siteBytes map[string]int64
+
+	// rngPool recycles per-entity generators (one stream per task, one per
+	// job). Each math/rand source is ~5 KB, and a run splits one per job —
+	// recycling dead generators removes that churn without changing any
+	// draw sequence, since Reseed restores the exact fresh-source state.
+	rngPool []*simtime.RNG
+
 	nextTask int64
 	nextJob  int64
 
@@ -204,7 +216,8 @@ func NewSystem(eng *simtime.Engine, grid *topology.Grid, ruc *rucio.Rucio, rng *
 	s := &System{
 		eng: eng, grid: grid, ruc: ruc, rng: rng, opts: opts,
 		jobSink: js, fileSink: fs,
-		sites: make(map[string]*siteState),
+		sites:     make(map[string]*siteState),
+		siteBytes: make(map[string]int64),
 	}
 	for _, site := range grid.Sites() {
 		s.sites[site.Name] = &siteState{name: site.Name, slots: site.CPUSlots}
@@ -216,6 +229,25 @@ func NewSystem(eng *simtime.Engine, grid *topology.Grid, ruc *rucio.Rucio, rng *
 
 // Options reports the effective (defaulted) options.
 func (s *System) Options() Options { return s.opts }
+
+// splitRNG derives the child stream for label, reusing a pooled generator
+// when one is free. The stream is identical to s.rng.Split(label); callers
+// hand the generator back with releaseRNG once no further draws can occur.
+func (s *System) splitRNG(label string) *simtime.RNG {
+	if n := len(s.rngPool); n > 0 {
+		g := s.rngPool[n-1]
+		s.rngPool = s.rngPool[:n-1]
+		s.rng.SplitInto(g, label)
+		return g
+	}
+	return s.rng.Split(label)
+}
+
+// releaseRNG returns a dead generator to the pool. Generators owned by
+// jobs the engine horizon cuts off are simply never returned.
+func (s *System) releaseRNG(g *simtime.RNG) {
+	s.rngPool = append(s.rngPool, g)
+}
 
 // nextTaskID allocates JEDI task ids in the paper's 7-digit range.
 func (s *System) nextTaskID() int64 {
@@ -270,7 +302,10 @@ func (s *System) SubmitTask(spec TaskSpec) (*Task, error) {
 		return nil, err
 	}
 	s.SubmittedTasks++
-	taskRNG := s.rng.Split(fmt.Sprintf("task/%d", t.JediTaskID))
+	// The task stream dies with this loop: brokerage and enqueue draw
+	// synchronously, and the dispatch closure captures no rng.
+	taskRNG := s.splitRNG(fmt.Sprintf("task/%d", t.JediTaskID))
+	defer s.releaseRNG(taskRNG)
 	for i := 0; i < spec.JobCount; i++ {
 		j := &Job{
 			PandaID:  s.nextPandaID(),
@@ -310,9 +345,10 @@ func (DataLocalityPolicy) Name() string { return "data-locality" }
 // Choose implements BrokerPolicy.
 func (DataLocalityPolicy) Choose(j *Job, s *System, rng *simtime.RNG) string {
 	if !rng.Bool(s.opts.RemoteBrokerageProb) {
+		bySite := s.inputBytesBySite(j)
 		best, bestScore := "", 0.0
 		for _, name := range s.siteNames {
-			bytes := s.InputBytesAt(j, name)
+			bytes := bySite[name]
 			if bytes == 0 {
 				continue
 			}
@@ -327,6 +363,26 @@ func (DataLocalityPolicy) Choose(j *Job, s *System, rng *simtime.RNG) string {
 		}
 	}
 	return s.siteNames[rng.Choice(s.cpuWeights)]
+}
+
+// inputBytesBySite computes InputBytesAt for every site in one pass by
+// inverting the probe: walk each input file's replica set once and
+// attribute its size to the site whose primary RSE holds it, instead of
+// re-probing the replica map per (file, site) pair. Returns the reused
+// scratch map — valid until the next call; values are identical to calling
+// InputBytesAt per site (integer sums are order-insensitive).
+func (s *System) inputBytesBySite(j *Job) map[string]int64 {
+	clear(s.siteBytes)
+	cat := s.ruc.Catalog()
+	for _, f := range j.Inputs {
+		size := f.Size
+		cat.EachAvailableReplica(f.LFN, func(rse string) {
+			if site, ok := s.grid.PrimarySite(rse); ok {
+				s.siteBytes[site] += size
+			}
+		})
+	}
+	return s.siteBytes
 }
 
 // InputBytesAt sums the job's input bytes available at a site's primary
@@ -410,7 +466,7 @@ func (s *System) pump(st *siteState) {
 // beginPilot runs the stage-in phase. The pilot holds its slot through
 // stage-in, payload, and stage-out, like a real PanDA pilot.
 func (s *System) beginPilot(j *Job) {
-	jr := s.rng.Split(fmt.Sprintf("job/%d", j.PandaID))
+	jr := s.splitRNG(fmt.Sprintf("job/%d", j.PandaID))
 	j.stagingBegan = s.eng.Now()
 
 	activity := records.AnalysisDownload
@@ -460,6 +516,10 @@ func (s *System) startPayload(j *Job, jr *simtime.RNG) {
 
 // finishPayload decides the outcome, performs stage-out, and finalizes.
 func (s *System) finishPayload(j *Job, jr *simtime.RNG) {
+	// Every draw from the job stream happens in this body (the upload
+	// completion and late-start closures reference j only, and startPayload
+	// guards against a late re-entry), so jr is dead once it returns.
+	defer s.releaseRNG(jr)
 	// Failure probability grows with the fraction of queue time spent
 	// staging — the paper's central correlation (Fig. 9).
 	queue := (j.Start - j.Creation).Seconds()

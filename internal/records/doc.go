@@ -11,5 +11,8 @@
 // every layer can share it without dependency cycles. Records are created
 // by the substrates, ingested by the metastore, and treated as immutable
 // from then on — the corruption layer is the single sanctioned mutator,
-// and it runs before ingestion.
+// and it runs before ingestion. The structs are plain value types by
+// design: the metastore copies them into its columnar arenas at ingest
+// (producers may reuse their structs after Put), so a record must never
+// carry hidden reference semantics beyond its string fields.
 package records

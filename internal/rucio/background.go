@@ -30,6 +30,27 @@ type BackgroundConfig struct {
 	SizeSigma float64 // default 0.9
 }
 
+// Scaled returns the config with defaults filled and the background event
+// rate multiplied by f (every mean inter-arrival interval shrinks by f).
+// f <= 0 or 1 only fills defaults. Dataset shape is left alone: scaling
+// grows the number of movements, not their size.
+func (c BackgroundConfig) Scaled(f float64) BackgroundConfig {
+	c.fill()
+	if f <= 0 || f == 1 {
+		return c
+	}
+	for _, iv := range []*simtime.VTime{
+		&c.ExportInterval, &c.RebalanceInterval, &c.ConsolidationInterval, &c.SubscriptionInterval,
+	} {
+		scaled := simtime.VTime(float64(*iv) / f)
+		if scaled < 1 {
+			scaled = 1
+		}
+		*iv = scaled
+	}
+	return c
+}
+
 func (c *BackgroundConfig) fill() {
 	if c.ExportInterval == 0 {
 		c.ExportInterval = 1800

@@ -42,6 +42,15 @@ const (
 	ReplicaAvailable
 )
 
+// replicaEntry is one file copy in the compact per-LFN replica list: an
+// interned RSE id plus the state, 4 bytes and pointer-free. Files have a
+// handful of replicas, so a linear scan beats a string-keyed map and the
+// GC never has to walk the (large, long-lived) replica table.
+type replicaEntry struct {
+	rse   uint16
+	state uint8
+}
+
 // Catalog is the Rucio namespace: files, datasets, containers, replicas.
 // Single-goroutine, like the rest of the DES.
 type Catalog struct {
@@ -49,8 +58,13 @@ type Catalog struct {
 	datasets   map[string]*Dataset
 	containers map[string][]string // container -> dataset names
 
-	// replicas[lfn][rse] = state
-	replicas map[string]map[string]ReplicaState
+	// replicas[lfn] lists the file's copies in insertion order.
+	replicas map[string][]replicaEntry
+
+	// RSE name interning for replicaEntry (a grid has at most a few
+	// hundred RSEs, far under the uint16 ceiling).
+	rseIDs   map[string]uint16
+	rseNames []string
 }
 
 // NewCatalog returns an empty catalog.
@@ -59,8 +73,20 @@ func NewCatalog() *Catalog {
 		files:      make(map[string]*FileInfo),
 		datasets:   make(map[string]*Dataset),
 		containers: make(map[string][]string),
-		replicas:   make(map[string]map[string]ReplicaState),
+		replicas:   make(map[string][]replicaEntry),
+		rseIDs:     make(map[string]uint16),
 	}
+}
+
+// rseID interns an RSE name.
+func (c *Catalog) rseID(rse string) uint16 {
+	if id, ok := c.rseIDs[rse]; ok {
+		return id
+	}
+	id := uint16(len(c.rseNames))
+	c.rseIDs[rse] = id
+	c.rseNames = append(c.rseNames, rse)
+	return id
 }
 
 // CreateDataset registers an empty dataset DID. Creating an existing
@@ -119,38 +145,65 @@ func (c *Catalog) NumDatasets() int { return len(c.datasets) }
 // SetReplica records a file copy at an RSE in the given state, upgrading
 // any existing entry.
 func (c *Catalog) SetReplica(lfn, rse string, st ReplicaState) {
-	m, ok := c.replicas[lfn]
-	if !ok {
-		m = make(map[string]ReplicaState, 2)
-		c.replicas[lfn] = m
+	id := c.rseID(rse)
+	entries := c.replicas[lfn]
+	for i := range entries {
+		if entries[i].rse == id {
+			entries[i].state = uint8(st)
+			return
+		}
 	}
-	m[rse] = st
+	c.replicas[lfn] = append(entries, replicaEntry{rse: id, state: uint8(st)})
 }
 
 // DropReplica removes a file copy record.
 func (c *Catalog) DropReplica(lfn, rse string) {
-	if m, ok := c.replicas[lfn]; ok {
-		delete(m, rse)
+	id, ok := c.rseIDs[rse]
+	if !ok {
+		return
+	}
+	entries := c.replicas[lfn]
+	for i := range entries {
+		if entries[i].rse == id {
+			c.replicas[lfn] = append(entries[:i], entries[i+1:]...)
+			return
+		}
 	}
 }
 
 // HasReplica reports whether an available replica of lfn exists at rse.
 func (c *Catalog) HasReplica(lfn, rse string) bool {
-	return c.replicas[lfn][rse] == ReplicaAvailable && c.hasEntry(lfn, rse)
+	id, ok := c.rseIDs[rse]
+	if !ok {
+		return false
+	}
+	for _, e := range c.replicas[lfn] {
+		if e.rse == id {
+			return e.state == uint8(ReplicaAvailable)
+		}
+	}
+	return false
 }
 
-func (c *Catalog) hasEntry(lfn, rse string) bool {
-	_, ok := c.replicas[lfn][rse]
-	return ok
+// EachAvailableReplica calls fn for every RSE holding an available replica
+// of lfn, in insertion order. The intended use is order-insensitive
+// accumulation, e.g. summing per-site input bytes with one replica-list
+// walk per file instead of one HasReplica probe per (file, site) pair.
+func (c *Catalog) EachAvailableReplica(lfn string, fn func(rse string)) {
+	for _, e := range c.replicas[lfn] {
+		if e.state == uint8(ReplicaAvailable) {
+			fn(c.rseNames[e.rse])
+		}
+	}
 }
 
 // FileRSEs returns the RSEs holding an available replica of lfn, sorted for
 // determinism.
 func (c *Catalog) FileRSEs(lfn string) []string {
 	var out []string
-	for rse, st := range c.replicas[lfn] {
-		if st == ReplicaAvailable {
-			out = append(out, rse)
+	for _, e := range c.replicas[lfn] {
+		if e.state == uint8(ReplicaAvailable) {
+			out = append(out, c.rseNames[e.rse])
 		}
 	}
 	sort.Strings(out)

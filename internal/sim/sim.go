@@ -41,6 +41,20 @@ type Config struct {
 	// average week; contention studies (coopt) scale it down so brokerage
 	// policy choices matter.
 	CPUScale float64
+
+	// Scale multiplies the scenario's event volume: task arrival rates,
+	// background traffic rates, and the seeded catalog all grow by Scale
+	// (applied on top of the filled defaults of Workload and Background —
+	// explicitly-set fields scale too). The default scenario is calibrated
+	// to roughly 1/20 of the paper's production volume, so Scale 20 is a
+	// paper-scale (1x) run and Scale 200 the 10x stress case. 0 or 1 leaves
+	// the scenario untouched, so default outputs are bit-for-bit unchanged.
+	Scale float64
+
+	// Shards selects the metastore shard count for Run (0 picks
+	// metastore.DefaultShards). Purely a performance knob: outputs are
+	// byte-identical for any value.
+	Shards int
 }
 
 func (c *Config) fill() {
@@ -77,7 +91,7 @@ type Result struct {
 // Run executes the scenario to its horizon and returns the populated
 // metastore plus run statistics. Deterministic for a given Config.
 func Run(cfg Config) *Result {
-	return RunReusing(cfg, metastore.New())
+	return RunReusing(cfg, metastore.NewSharded(cfg.Shards))
 }
 
 // RunReusing is Run with a caller-provided metastore: the store is Reset
@@ -89,6 +103,10 @@ func Run(cfg Config) *Result {
 func RunReusing(cfg Config, store *metastore.Store) *Result {
 	store.Reset()
 	cfg.fill()
+	if cfg.Scale > 0 && cfg.Scale != 1 {
+		cfg.Workload = cfg.Workload.Scaled(cfg.Scale)
+		cfg.Background = cfg.Background.Scaled(cfg.Scale)
+	}
 	horizon := simtime.VTime(cfg.WarmupDays+cfg.Days) * simtime.Day
 	eng := simtime.NewEngine(0, horizon)
 	grid := topology.Default(cfg.Grid)

@@ -187,6 +187,57 @@ func TestCorruptionDisableFlows(t *testing.T) {
 	}
 }
 
+// TestRunReusingShardedStore is TestRunReusingMatchesRun on a non-default
+// shard count: a reused sharded store (with its intern table and arena
+// high-water marks reset between scenarios) must reproduce a fresh run.
+func TestRunReusingShardedStore(t *testing.T) {
+	fresh := Run(QuickConfig(3))
+
+	store := metastore.NewSharded(4)
+	RunReusing(QuickConfig(7), store) // dirty the store with another scenario
+	interned := store.InternedStrings()
+	reused := RunReusing(QuickConfig(3), store)
+
+	if fresh.Store.TransferCount() != reused.Store.TransferCount() ||
+		fresh.Store.JobCount() != reused.Store.JobCount() ||
+		fresh.MovedBytes != reused.MovedBytes {
+		t.Fatal("sharded reused store diverged from fresh run")
+	}
+	if interned > 0 && reused.Store.InternedStrings() == 0 {
+		t.Fatal("reused store interned nothing")
+	}
+	fe := fresh.Store.Transfers(0, 0)
+	re := reused.Store.Transfers(0, 0)
+	for i := range fe {
+		if *fe[i] != *re[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, *fe[i], *re[i])
+		}
+	}
+}
+
+// TestScaleGrowsVolume pins the -scale contract: Scale > 1 multiplies the
+// event volume, Scale 1 (and 0) are exact no-ops on the output.
+func TestScaleGrowsVolume(t *testing.T) {
+	base := Run(QuickConfig(6))
+
+	unit := QuickConfig(6)
+	unit.Scale = 1
+	if got := Run(unit); got.StoredEvents != base.StoredEvents || got.MovedBytes != base.MovedBytes {
+		t.Fatal("Scale=1 changed the run")
+	}
+
+	scaled := QuickConfig(6)
+	scaled.Scale = 3
+	got := Run(scaled)
+	// Arrival rates tripled; allow slack for slot contention and dedupe.
+	if got.StoredEvents < base.StoredEvents*2 {
+		t.Fatalf("Scale=3 stored %d events vs base %d, want ≥2x", got.StoredEvents, base.StoredEvents)
+	}
+	if got.SubmittedTasks < base.SubmittedTasks*2 {
+		t.Fatalf("Scale=3 submitted %d tasks vs base %d, want ≥2x", got.SubmittedTasks, base.SubmittedTasks)
+	}
+}
+
 func TestRunReusingMatchesRun(t *testing.T) {
 	fresh := Run(QuickConfig(3))
 

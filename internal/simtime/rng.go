@@ -27,14 +27,38 @@ func (g *RNG) Seed() int64 { return g.seed }
 // Split derives an independent child generator keyed by label. Identical
 // (seed, label) pairs always produce identical streams.
 func (g *RNG) Split(label string) *RNG {
+	return NewRNG(g.splitSeed(label))
+}
+
+// splitSeed is the derivation behind Split: the parent seed xor an FNV-1a
+// hash of the label, avoiding the degenerate all-zero seed.
+func (g *RNG) splitSeed(label string) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(label))
 	child := g.seed ^ int64(h.Sum64())
-	// Avoid the degenerate all-zero seed.
 	if child == 0 {
 		child = int64(h.Sum64()) | 1
 	}
-	return NewRNG(child)
+	return child
+}
+
+// Reseed re-initializes the generator in place to the exact state NewRNG
+// would give it — the allocation-free form for pooled reuse. The underlying
+// math/rand source is 4.9 KB, so callers that split per entity (one stream
+// per job, say) and can bound the stream's lifetime should recycle dead
+// generators through Reseed/SplitInto instead of allocating a new source
+// each time.
+func (g *RNG) Reseed(seed int64) {
+	g.seed = seed
+	g.r.Seed(seed)
+}
+
+// SplitInto is Split with the child's allocation recycled: it re-seeds
+// child to the exact stream Split(label) would return. The child must not
+// be in use — recycling a generator that can still be drawn from corrupts
+// determinism silently.
+func (g *RNG) SplitInto(child *RNG, label string) {
+	child.Reseed(g.splitSeed(label))
 }
 
 // Float64 returns a uniform draw in [0,1).

@@ -23,6 +23,10 @@ type Options struct {
 	// MatchWorkers is the per-scenario matcher fan-out passed to
 	// analysis.CompareMethodsParallel (<= 0 runs the passes inline).
 	MatchWorkers int
+	// Shards selects the shard count of each worker's metastore (<= 0
+	// picks metastore.DefaultShards). Purely a performance knob: the
+	// report is byte-identical for any value.
+	Shards int
 }
 
 func (o *Options) fill(scenarios int) {
@@ -105,7 +109,7 @@ func Run(scenarios []Scenario, opt Options) *Report {
 	outcomes := make([]Outcome, len(scenarios))
 
 	if opt.Workers <= 1 {
-		store := metastore.New()
+		store := metastore.NewSharded(opt.Shards)
 		for i, sc := range scenarios {
 			outcomes[i] = evaluate(sc, store, opt.MatchWorkers)
 		}
@@ -118,7 +122,7 @@ func Run(scenarios []Scenario, opt Options) *Report {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			store := metastore.New()
+			store := metastore.NewSharded(opt.Shards)
 			for i := range idx {
 				outcomes[i] = evaluate(scenarios[i], store, opt.MatchWorkers)
 			}

@@ -89,6 +89,13 @@ type Grid struct {
 	byName  map[string]*Site
 	rseByNm map[string]*RSE
 	order   map[string]int // site name -> stable index (heatmap axes)
+
+	// primary/primaryOf cache the site <-> primary-RSE relation, which is
+	// fixed at construction (RSE membership never changes after NewGrid).
+	// PrimaryRSE sits on the brokerage hot path — every job scores every
+	// candidate site — so it must not rescan the site's RSE list per call.
+	primary   map[string]*RSE   // site name -> its primary RSE
+	primaryOf map[string]string // RSE name -> site it is primary for
 }
 
 // NewGrid builds a grid from a site list. Site names must be unique; RSE
@@ -128,7 +135,30 @@ func NewGrid(sites []*Site, rses []*RSE) (*Grid, error) {
 		g.order[s.Name] = i
 	}
 	g.order[UnknownSite] = len(g.sites)
+	g.primary = make(map[string]*RSE, len(g.sites))
+	g.primaryOf = make(map[string]string, len(g.sites))
+	for _, s := range g.sites {
+		if r, ok := g.findPrimaryRSE(s); ok {
+			g.primary[s.Name] = r
+			g.primaryOf[r.Name] = s.Name
+		}
+	}
 	return g, nil
+}
+
+// findPrimaryRSE is the construction-time scan behind the primary cache:
+// the site's first disk RSE, or its first RSE of any kind.
+func (g *Grid) findPrimaryRSE(s *Site) (*RSE, bool) {
+	for _, rn := range s.RSEs {
+		r := g.rseByNm[rn]
+		if r.Kind == Disk {
+			return r, true
+		}
+	}
+	if len(s.RSEs) > 0 {
+		return g.rseByNm[s.RSEs[0]], true
+	}
+	return nil, false
 }
 
 // Sites returns all sites in stable index order.
@@ -173,22 +203,19 @@ func (g *Grid) AxisLabel(i int) string {
 }
 
 // PrimaryRSE returns the first disk RSE of a site (every generated site has
-// one), or ok=false for sites without storage.
+// one), or ok=false for sites without storage. Served from the
+// construction-time cache.
 func (g *Grid) PrimaryRSE(site string) (*RSE, bool) {
-	s, ok := g.byName[site]
-	if !ok {
-		return nil, false
-	}
-	for _, rn := range s.RSEs {
-		r := g.rseByNm[rn]
-		if r.Kind == Disk {
-			return r, true
-		}
-	}
-	if len(s.RSEs) > 0 {
-		return g.rseByNm[s.RSEs[0]], true
-	}
-	return nil, false
+	r, ok := g.primary[site]
+	return r, ok
+}
+
+// PrimarySite returns the site for which the named RSE is the primary RSE,
+// or ok=false when it is primary for none — the inverse of PrimaryRSE, used
+// to invert per-site replica probes into per-replica site attribution.
+func (g *Grid) PrimarySite(rse string) (string, bool) {
+	s, ok := g.primaryOf[rse]
+	return s, ok
 }
 
 // SitesByTier returns the names of all sites of the given tier, sorted.

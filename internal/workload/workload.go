@@ -36,6 +36,32 @@ type Config struct {
 	ZipfExponent float64
 }
 
+// Scaled returns the config with defaults filled and the arrival volume
+// multiplied by f: task inter-arrival intervals shrink by f (rates grow)
+// and the seeded catalog grows by f so dataset popularity keeps its shape.
+// f <= 0 or 1 only fills defaults. The default scenario sits near 1/20 of
+// the paper's production volume, so f = 20 reproduces paper scale.
+func (c Config) Scaled(f float64) Config {
+	c.fill()
+	if f <= 0 || f == 1 {
+		return c
+	}
+	c.InitialDatasets = int(float64(c.InitialDatasets)*f + 0.5)
+	c.UserTaskInterval = scaleInterval(c.UserTaskInterval, f)
+	c.ProdTaskInterval = scaleInterval(c.ProdTaskInterval, f)
+	return c
+}
+
+// scaleInterval divides a mean inter-arrival time by f, clamping at one
+// tick so extreme scales stay valid.
+func scaleInterval(v simtime.VTime, f float64) simtime.VTime {
+	scaled := simtime.VTime(float64(v) / f)
+	if scaled < 1 {
+		return 1
+	}
+	return scaled
+}
+
 func (c *Config) fill() {
 	if c.InitialDatasets == 0 {
 		c.InitialDatasets = 400
