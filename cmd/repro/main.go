@@ -8,13 +8,15 @@
 // Usage:
 //
 //	repro [-seed N] [-days N] [-workers N] [-scale F] [-shards N]
+//	      [-segment-rows N]
 //
 // -scale multiplies the scenario's event volume: the default scenario is
 // calibrated to roughly 1/20 of the paper's production week, so -scale 20
 // is a paper-scale (1x) run and -scale 200 the 10x stress case. At scaled
 // volumes the shape checks still apply — the scenario's proportions are
-// scale-free. -shards sets the metastore shard count (0 = default); it
-// never changes output.
+// scale-free. -shards sets the metastore shard count and -segment-rows
+// the per-shard segment-seal threshold (0 = default); neither ever
+// changes output.
 package main
 
 import (
@@ -29,11 +31,12 @@ import (
 )
 
 type options struct {
-	seed    int64
-	days    int
-	workers int
-	scale   float64
-	shards  int
+	seed        int64
+	days        int
+	workers     int
+	scale       float64
+	shards      int
+	segmentRows int
 }
 
 // parseFlags parses the command line into options; kept separate from main
@@ -46,6 +49,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.workers, "workers", 0, "matcher worker goroutines (0 = all cores, 1 = serial)")
 	fs.Float64Var(&o.scale, "scale", 1, "event-volume multiplier (20 = paper scale, 200 = 10x)")
 	fs.IntVar(&o.shards, "shards", 0, "metastore shard count (0 = default)")
+	fs.IntVar(&o.segmentRows, "segment-rows", 0, "metastore per-shard segment-seal threshold (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -58,6 +62,9 @@ func parseFlags(args []string) (*options, error) {
 	if o.shards < 0 {
 		return nil, fmt.Errorf("-shards must be non-negative, got %d", o.shards)
 	}
+	if o.segmentRows < 0 {
+		return nil, fmt.Errorf("-segment-rows must be non-negative, got %d", o.segmentRows)
+	}
 	return o, nil
 }
 
@@ -67,6 +74,7 @@ func (o *options) config() sim.Config {
 	cfg.Days = o.days
 	cfg.Scale = o.scale
 	cfg.Shards = o.shards
+	cfg.SegmentRows = o.segmentRows
 	return cfg
 }
 

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	sweep [-grid robustness|seeds|mix] [-seed N] [-scenarios N]
-//	      [-workers N] [-match-workers N] [-shards N] [-format markdown|json]
+//	      [-workers N] [-match-workers N] [-shards N] [-segment-rows N]
+//	      [-format markdown|json]
 //
 // The canned grids are quick-scale (2-day scenarios): "robustness" is the
 // E14 corruption ramp, "seeds" an 8-way seed fan-out, "mix" the workload
@@ -31,6 +32,7 @@ type options struct {
 	workers      int
 	matchWorkers int
 	shards       int
+	segmentRows  int
 	format       string
 }
 
@@ -45,6 +47,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.workers, "workers", 0, "concurrent scenarios (0 = all cores, 1 = serial)")
 	fs.IntVar(&o.matchWorkers, "match-workers", 1, "matcher goroutines per scenario (0 = all cores)")
 	fs.IntVar(&o.shards, "shards", 0, "metastore shards per worker store (0 = default)")
+	fs.IntVar(&o.segmentRows, "segment-rows", 0, "metastore per-shard segment-seal threshold (0 = default)")
 	fs.StringVar(&o.format, "format", "markdown", "report format: markdown or json")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -64,6 +67,9 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if o.shards < 0 {
 		return nil, fmt.Errorf("-shards must be >= 0, got %d", o.shards)
+	}
+	if o.segmentRows < 0 {
+		return nil, fmt.Errorf("-segment-rows must be >= 0, got %d", o.segmentRows)
 	}
 	return o, nil
 }
@@ -94,6 +100,7 @@ func run(o *options) string {
 		Workers:      o.workers,
 		MatchWorkers: o.matchWorkers,
 		Shards:       o.shards,
+		SegmentRows:  o.segmentRows,
 	})
 	if o.format == "json" {
 		return rep.JSON()

@@ -22,6 +22,7 @@ func TestParseFlagsRejectsBadValues(t *testing.T) {
 		{"-format", "xml"},
 		{"-scenarios", "-3"},
 		{"-shards", "-1"},
+		{"-segment-rows", "-1"},
 		{"-bogus"},
 	} {
 		if _, err := parseFlags(args); err == nil {
@@ -51,7 +52,8 @@ func TestBuildGridSelectionAndTruncation(t *testing.T) {
 }
 
 // Acceptance: sweep output is byte-identical for -workers 1 and -workers 8
-// on the same scenario grid, in both formats.
+// on the same scenario grid, in both formats, for any shard count crossed
+// with any segment size.
 func TestOutputByteIdenticalAcrossWorkers(t *testing.T) {
 	for _, format := range []string{"markdown", "json"} {
 		args := []string{"-scenarios", "2", "-format", format}
@@ -59,13 +61,19 @@ func TestOutputByteIdenticalAcrossWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallel, err := parseFlags(append(args, "-workers", "8", "-match-workers", "4", "-shards", "2"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		a, b := run(serial), run(parallel)
-		if a != b {
-			t.Errorf("%s output diverged between -workers 1 and -workers 8 -shards 2", format)
+		a := run(serial)
+		for _, extra := range [][]string{
+			{"-workers", "8", "-match-workers", "4", "-shards", "2"},
+			{"-workers", "8", "-shards", "8", "-segment-rows", "512"},
+			{"-workers", "2", "-shards", "1", "-segment-rows", "4096"},
+		} {
+			parallel, err := parseFlags(append(args, extra...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b := run(parallel); a != b {
+				t.Errorf("%s output diverged between -workers 1 and %v", format, extra)
+			}
 		}
 		if format == "markdown" && !strings.Contains(a, "Scenario sweep — 2 scenario(s)") {
 			t.Errorf("markdown header missing:\n%s", a)

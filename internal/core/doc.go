@@ -21,8 +21,11 @@
 // Entry points: NewMatcher over a metastore, then MatchJob for one job or
 // Run / RunParallel for a job set; RepairStore and MeasureUplift apply RM2
 // site inferences and quantify the exact-match uplift. The matcher probes
-// the store's pre-resolved join entries, so the store is frozen (read-only)
-// during matching — which is what makes sharding by job safe.
+// the store's per-job join entries, which the segmented store answers at
+// any point mid-run — MatchJob needs no Freeze and is the query surface of
+// the sim.RunWithObserver checkpoints. Run and RunParallel still freeze the
+// store up front: their worker goroutines require the read-only frozen
+// state, which is what makes sharding by job safe.
 //
 // Determinism invariant: Run and RunParallel are one streaming pipeline
 // whose aggregate is order-insensitive and whose Matches are sorted by

@@ -166,7 +166,11 @@ func NewMatcher(store *metastore.Store) *Matcher { return &Matcher{store: store}
 
 // MatchJob applies the chosen strategy to one job and returns its matched
 // transfer events (nil when unmatched). This is Algorithm 1 with the
-// RM1/RM2 relaxations switchable.
+// RM1/RM2 relaxations switchable. It works mid-run on a live (un-frozen)
+// store — the segmented store resolves join entries from its incremental
+// indices — as well as on a frozen one, where the pre-resolved entries
+// make the probe allocation-free; the two answer identically for the same
+// ingested prefix (see the cut-point equivalence tests).
 //
 // Candidate generation probes the metastore's per-task composite join-key
 // index with each JEDI file row instead of scanning the task's whole

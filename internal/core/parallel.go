@@ -12,10 +12,11 @@ import (
 // the parallelization the paper's limitations section singles out as the
 // path to full-scale analysis ("any future systematic and scalable
 // analysis designs, such as parallelization, will be especially
-// valuable"). The metastore is frozen (read-only) during matching, so
-// sharding by job is safe; results are aggregated by a single streaming
-// routine and Matches are ordered by pandaid, making the output identical
-// to Run's.
+// valuable"). The metastore is frozen up front — live queries maintain
+// per-shard caches, so only the frozen (read-only) state may be shared by
+// worker goroutines — making sharding by job safe; results are aggregated
+// by a single streaming routine and Matches are ordered by pandaid, making
+// the output identical to Run's.
 //
 // workers <= 0 selects GOMAXPROCS.
 func (m *Matcher) RunParallel(jobs []*records.JobRecord, method Method, workers int) *Result {

@@ -6,19 +6,24 @@ import (
 	"panrucio/internal/sim"
 )
 
-// TestRenderAllShardInvariant pins the sharded metastore's end-to-end
+// TestRenderAllShardInvariant pins the segmented metastore's end-to-end
 // contract at the experiment layer: the full rendered report (E1-E14
-// tables, figures, anomaly scan) is byte-identical for any shard count —
-// including shard counts crossed with matcher parallelism.
+// tables, figures, anomaly scan) is byte-identical for any shard count
+// crossed with any segment size — including matcher parallelism. Segment
+// size 4096 forces many mid-run seals at quick-run volume; 0 (the
+// default threshold) keeps most shards on the pure-tail path.
 func TestRenderAllShardInvariant(t *testing.T) {
 	cfg := sim.QuickConfig(23)
-	want := Run(cfg).RenderAll() // default shard count, serial matching
+	want := Run(cfg).RenderAll() // default shards and segment size, serial matching
 
 	for _, n := range []int{1, 4, 8} {
-		c := cfg
-		c.Shards = n
-		if got := RunWorkers(c, 3).RenderAll(); got != want {
-			t.Fatalf("RenderAll diverged at shards=%d", n)
+		for _, segRows := range []int{4096, 0} {
+			c := cfg
+			c.Shards = n
+			c.SegmentRows = segRows
+			if got := RunWorkers(c, 3).RenderAll(); got != want {
+				t.Fatalf("RenderAll diverged at shards=%d segRows=%d", n, segRows)
+			}
 		}
 	}
 }

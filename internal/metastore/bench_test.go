@@ -81,3 +81,71 @@ func BenchmarkStoreIngest(b *testing.B) {
 	b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(liveB/events, "live_B/event")
 }
+
+// BenchmarkStoreIngestIncremental is BenchmarkStoreIngest on the
+// incremental path: small segments force many mid-run seals (with their
+// background sorts), and a windowed query after every task keeps the live
+// sealed+tail merge hot instead of the single end-of-run Freeze. The
+// events/sec and live_B/event deltas against BenchmarkStoreIngest are the
+// price of mid-run queryability (recorded in bench/BENCH_incremental.json).
+func BenchmarkStoreIngestIncremental(b *testing.B) {
+	b.ReportAllocs()
+	var events, liveB float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.GC()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.StartTimer()
+		s := metastore.NewShardedSegmented(0, 2048)
+		n := 0
+		eventID := int64(1)
+		for t := 1; t <= 200; t++ {
+			scope := "data25"
+			ds := fmt.Sprintf("ds%d", t)
+			for jn := 0; jn < 10; jn++ {
+				panda := int64(t*10000 + jn)
+				for fn := 0; fn < 8; fn++ {
+					lfn := fmt.Sprintf("t%d.j%d.f%d", t, jn, fn)
+					s.PutFile(&records.FileRecord{
+						PandaID: panda, JediTaskID: int64(t),
+						LFN: lfn, Scope: scope, Dataset: ds, ProdDBlock: ds,
+						FileSize: int64(1e9 + fn), Kind: records.FileInput,
+					})
+					s.PutTransfer(&records.TransferEvent{
+						EventID: eventID, LFN: lfn, Scope: scope, Dataset: ds, ProdDBlock: ds,
+						FileSize: int64(1e9 + fn), SourceRSE: "CERN-PROD_DATADISK",
+						DestinationRSE: "BNL-ATLAS_DATADISK",
+						SourceSite:     "CERN-PROD", DestinationSite: "BNL-ATLAS",
+						Activity: records.AnalysisDownload, IsDownload: true,
+						JediTaskID: int64(t),
+						StartedAt:  simtime.VTime(1000 + fn*10), EndedAt: simtime.VTime(1100 + fn*10),
+					})
+					eventID++
+					n++
+				}
+				s.PutJob(&records.JobRecord{
+					PandaID: panda, JediTaskID: int64(t),
+					ComputingSite: "BNL-ATLAS", Label: records.LabelUser,
+					CreationTime: 500, StartTime: 2000, EndTime: simtime.VTime(9000 + jn),
+					Status: records.JobFinished, TaskStatus: records.TaskDone,
+				})
+			}
+			// The mid-run query that batch ingest never pays for.
+			if len(s.Transfers(1000, 1100)) == 0 {
+				b.Fatal("live window came back empty")
+			}
+		}
+		b.StopTimer()
+		runtime.GC()
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		events += float64(n)
+		liveB += float64(m1.HeapAlloc) - float64(m0.HeapAlloc)
+		runtime.KeepAlive(s)
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(liveB/events, "live_B/event")
+}

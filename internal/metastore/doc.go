@@ -2,35 +2,49 @@
 // store of job records, JEDI file records, and Rucio transfer events, with
 // the time-windowed queries the paper's analysis workflow (Fig. 4) issues.
 //
-// The store is sharded and columnar. Records route to one of N shards
-// (NewSharded; New picks DefaultShards) by a hash of their jeditaskid and
-// are value-copied into per-shard chunked arenas — contiguous slabs with
-// stable addresses and no per-record heap object. String attributes intern
-// through a store-global table at ingest: the composite join indices
-// Algorithm 1 probes are keyed by dense symbol tuples rather than string
-// quadruples, and repeated site/RSE/activity backings collapse onto one
-// allocation. Matching is task-local, so the matcher-facing probes
-// (JoinEntriesForJob, TaskTransfersByKey, FilesForJob, TransfersByTaskID)
-// touch exactly one shard; events without a jeditaskid spread round-robin
-// and never enter a task index.
+// The store is sharded, columnar, and segmented. Records route to one of N
+// shards (NewSharded; New picks DefaultShards) by a hash of their
+// jeditaskid and are value-copied into per-shard chunked arenas —
+// contiguous slabs with stable addresses and no per-record heap object.
+// String attributes intern through a store-global table at ingest: the
+// composite join indices Algorithm 1 probes are keyed by dense symbol
+// tuples rather than string quadruples, and repeated site/RSE/activity
+// backings collapse onto one allocation. Matching is task-local, so the
+// matcher-facing probes (JoinEntriesForJob, TaskTransfersByKey,
+// FilesForJob, TransfersByTaskID) touch exactly one shard; events without
+// a jeditaskid spread round-robin and never enter a task index.
 //
 // Ingestion is append-only and single-threaded: the Put* methods maintain
 // the per-shard hash indices and the cached counters incrementally. The
-// sorted time indices behind the ranged queries Jobs and Transfers are
-// built by Freeze — run eagerly by sim.Run, lazily by the first ranged
-// query — which sorts every shard concurrently and then merges the runs by
-// (time, ingestion sequence), making the result byte-identical to an
-// unsharded stable sort for any shard count. Freeze also pre-resolves each
-// job's file rows to their candidate transfer buckets (JoinEntriesForJob),
-// the matcher's allocation-free per-job probe. Queries return pointers
-// into the arenas; callers must not mutate results.
+// sorted time order behind the ranged queries Jobs and Transfers is an
+// epoch/segment structure per shard (NewShardedSegmented sizes it): rows
+// land in a mutable tail whose sorted view is cached lazily; when the tail
+// reaches the segment-row threshold — or on an explicit Seal() — it
+// becomes an immutable, binary-searchable sealed segment (sorted in the
+// background while ingestion continues) and a fresh tail begins.
 //
-// Concurrency invariant: the store is safe for concurrent readers after
-// Freeze (the matcher's sharded pipeline relies on this); ingestion must
-// not run concurrently with queries. Reset empties a store for reuse —
-// arena high-water marks rewind keeping their chunks, index maps keep
-// capacity, and the intern table clears so a reused store cannot leak one
-// scenario's strings into the next (the sweep engine gives each worker one
-// store across many scenarios via sim.RunReusing). Reset invalidates
-// everything previously obtained from the store.
+// Mid-run query visibility: every query surface answers at any point
+// during ingestion, with no Freeze required, over exactly the records put
+// so far. Ranged queries merge the sealed segments' windows plus the tail
+// by (time, ingestion sequence), so their results are byte-identical to
+// the frozen store's for the same ingested prefix — for any shard count
+// crossed with any segment size (pinned by the cut-point equivalence tests
+// and FuzzSegmentMerge). Freeze is now only the batch-mode finalizer: it
+// seals the tails, compacts each shard to one run, builds the store-level
+// merged indices, and pre-resolves each job's file rows to their candidate
+// transfer buckets (JoinEntriesForJob), making every subsequent query
+// allocation-free. Queries return pointers into the arenas; callers must
+// not mutate results.
+//
+// Concurrency invariant: the store is safe for concurrent readers only
+// after Freeze (the matcher's sharded pipeline relies on this). Live
+// queries are single-threaded with ingestion — they maintain per-shard
+// caches — but may interleave with it freely, and background segment
+// sorts overlap ingestion safely (readers synchronize on the seal before
+// touching sealed runs). Reset empties a store for reuse — arena
+// high-water marks rewind keeping their chunks, index maps keep capacity,
+// and the intern table clears so a reused store cannot leak one scenario's
+// strings into the next (the sweep engine gives each worker one store
+// across many scenarios via sim.RunReusing). Reset invalidates everything
+// previously obtained from the store.
 package metastore

@@ -42,12 +42,21 @@ const DefaultShards = 8
 // store-global intern table; the join indices are keyed by 16-byte interned
 // symbol tuples instead of string quadruples. Matching is task-local, so
 // the matcher's probes (JoinEntriesForJob, TaskTransfersByKey) route to
-// exactly one shard; the time-ranged Jobs/Transfers queries answer from
-// store-level indices scatter-gathered from the per-shard sorted runs at
-// Freeze.
+// exactly one shard.
+//
+// Each shard's time-sorted view is segmented: rows land in a mutable tail
+// whose indices are maintained incrementally, and tails seal into
+// immutable sorted segments at SegmentRows (or on Seal). Every query —
+// Jobs, Transfers, the matcher probes — answers at any point mid-run by
+// merging sealed segments and tails through the (time, ingestion-seq)
+// k-way merge; Freeze degenerates to "seal and compact the tails", builds
+// the store-level merged indices the frozen fast path serves from, and
+// leaves results byte-identical to the live path for any shard count and
+// segment size.
 type Store struct {
 	shards  []*shard
 	strings *internTable
+	segRows int
 	seq     uint32 // global put sequence (jobs + transfers)
 
 	// jobsByID stays store-global: duplicate pandaids may hash to
@@ -82,27 +91,52 @@ type Store struct {
 func New() *Store { return NewSharded(DefaultShards) }
 
 // NewSharded returns an empty store with n shards (n < 1 selects
-// DefaultShards). Every query result is byte-identical for any n; the knob
-// trades per-shard freeze/reset parallelism and matcher locality against
-// fixed per-shard overhead.
-func NewSharded(n int) *Store {
+// DefaultShards) and the default segment size. Every query result is
+// byte-identical for any n; the knob trades per-shard freeze/reset
+// parallelism and matcher locality against fixed per-shard overhead.
+func NewSharded(n int) *Store { return NewShardedSegmented(n, 0) }
+
+// NewShardedSegmented is NewSharded with an explicit seal threshold: each
+// shard's mutable tail seals into an immutable sorted segment once it
+// holds segRows rows (< 1 selects DefaultSegmentRows). Like the shard
+// count, the segment size is purely a performance knob — results are
+// byte-identical for any value.
+func NewShardedSegmented(n, segRows int) *Store {
 	if n < 1 {
 		n = DefaultShards
 	}
+	if segRows < 1 {
+		segRows = DefaultSegmentRows
+	}
 	s := &Store{
 		strings:        newInternTable(),
+		segRows:        segRows,
 		jobsByID:       make(map[int64]*records.JobRecord),
 		taskByActivity: make(map[records.Activity]int),
 	}
 	s.shards = make([]*shard, n)
 	for i := range s.shards {
-		s.shards[i] = newShard(s.strings)
+		s.shards[i] = newShard(segRows)
 	}
 	return s
 }
 
 // ShardCount reports the number of shards.
 func (s *Store) ShardCount() int { return len(s.shards) }
+
+// SegmentRows reports the seal threshold the store was built with.
+func (s *Store) SegmentRows() int { return s.segRows }
+
+// SealedSegments reports the total number of sealed segments across all
+// shards and both time indices — observability for the segment lifecycle
+// (tail → seal → compact) the mid-run tests pin.
+func (s *Store) SealedSegments() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.jobSegs.segments() + sh.evSegs.segments()
+	}
+	return n
+}
 
 // ShardFor returns the shard index owning a JEDI task — exposed so the
 // matcher pipeline can give each worker shard-affine job subsets (one
@@ -140,15 +174,23 @@ func (s *Store) PutJob(j *records.JobRecord) {
 	s.frozen.Store(false)
 }
 
-// PutFile ingests a JEDI file-table row, interning its join attributes. The
-// record is copied into its shard's arena.
+// PutFile ingests a JEDI file-table row, interning its join attributes.
+// The row's interned join key is resolved here, once, so neither the
+// freeze-time candidate binding nor the live matcher probe re-hashes the
+// strings. The record is copied into its shard's arena.
 func (s *Store) PutFile(f *records.FileRecord) {
 	cp := *f
-	cp.LFN = s.strings.canon(cp.LFN)
-	cp.Scope = s.strings.canon(cp.Scope)
-	cp.Dataset = s.strings.canon(cp.Dataset)
-	cp.ProdDBlock = s.strings.canon(cp.ProdDBlock)
-	s.shards[s.ShardFor(cp.JediTaskID)].putFile(cp)
+	key := symKey{
+		lfn:        s.strings.sym(cp.LFN),
+		scope:      s.strings.sym(cp.Scope),
+		dataset:    s.strings.sym(cp.Dataset),
+		prodDBlock: s.strings.sym(cp.ProdDBlock),
+	}
+	cp.LFN = s.strings.strs[key.lfn]
+	cp.Scope = s.strings.strs[key.scope]
+	cp.Dataset = s.strings.strs[key.dataset]
+	cp.ProdDBlock = s.strings.strs[key.prodDBlock]
+	s.shards[s.ShardFor(cp.JediTaskID)].putFile(cp, key)
 	s.frozen.Store(false)
 }
 
@@ -189,14 +231,18 @@ func (s *Store) PutTransfer(ev *records.TransferEvent) {
 	s.frozen.Store(false)
 }
 
-// Freeze builds the sorted time indices and the pre-resolved join entries.
-// The per-shard work (sorting, join-entry binding) runs concurrently, one
-// goroutine per shard; the sorted runs are then merged into the store-level
-// indices by (time, ingestion sequence), which makes the result
-// byte-identical to a single-store stable sort. Freeze is idempotent, runs
-// implicitly on the first ranged query after an ingest, and is safe to call
-// from concurrent readers; calling it eagerly (as sim.Run does) keeps the
-// query path lock-free.
+// Freeze finalizes the store for the frozen fast path: every shard seals
+// its tails, compacts its sealed segments into one run per arena, and
+// binds the pre-resolved join entries — concurrently, one goroutine per
+// shard — then the per-shard runs are merged into the store-level indices
+// by (time, ingestion sequence), byte-identical to a single-store stable
+// sort. Because sealed segments stay sorted, a re-freeze after further
+// ingestion only sorts the new tail and re-merges, instead of re-sorting
+// history. Freeze is idempotent and safe to call from concurrent readers;
+// it is no longer a precondition for any query — an unfrozen store answers
+// the same queries live from sealed+tail — but calling it eagerly (as
+// sim.Run does) keeps the steady-state query path lock- and
+// allocation-free.
 func (s *Store) Freeze() {
 	if s.frozen.Load() {
 		return
@@ -221,21 +267,27 @@ func (s *Store) Freeze() {
 	evRuns := make([][]*records.TransferEvent, len(s.shards))
 	evSeqs := make([][]uint32, len(s.shards))
 	for i, sh := range s.shards {
-		jobRuns[i], jobSeqs[i] = sh.jobsByEnd, sh.jobsEndSeq
-		evRuns[i], evSeqs[i] = sh.evByStart, sh.evStartSeq
+		jobRuns[i], jobSeqs[i] = sh.jobSegs.single()
+		evRuns[i], evSeqs[i] = sh.evSegs.single()
 	}
-	// Fresh arrays every build: ranged queries alias these, so a rebuild
-	// after further ingestion must not disturb slices already handed out
-	// (mergeRuns always allocates for >1 shard, and the single-shard run is
-	// itself freshly built by shard.freeze).
-	s.jobsByEnd = mergeRuns(jobRuns, jobSeqs,
-		func(j *records.JobRecord) simtime.VTime { return j.EndTime })
-	s.evByStart = mergeRuns(evRuns, evSeqs,
-		func(ev *records.TransferEvent) simtime.VTime { return ev.StartedAt })
-	for _, sh := range s.shards {
-		sh.releaseRuns()
-	}
+	// The merged indices alias the compacted segment runs only in the
+	// single-shard case, and compacted runs are immutable — a re-freeze
+	// after further ingestion compacts into fresh arrays — so slices
+	// already handed out to callers are never disturbed.
+	s.jobsByEnd, _ = mergeRuns(jobRuns, jobSeqs, jobEnd, false)
+	s.evByStart, _ = mergeRuns(evRuns, evSeqs, evStart, false)
 	s.frozen.Store(true)
+}
+
+// Seal closes every shard's mutable tail into an immutable sorted segment
+// without freezing: sorting happens in the background while ingestion
+// continues into the fresh tails, and queries keep answering live over
+// sealed+tail. A long-running ingester can call this at checkpoints to
+// bound the tail-sort cost of mid-run queries; Freeze subsumes it.
+func (s *Store) Seal() {
+	for _, sh := range s.shards {
+		sh.seal()
+	}
 }
 
 // Reset empties the store for reuse while keeping the arena chunks, index
@@ -292,13 +344,18 @@ type JoinEntry struct {
 }
 
 // JoinEntriesForJob returns the job's file rows (Algorithm 1's F'_j) with
-// their join buckets resolved — the matcher's per-job probe. The groups and
-// buckets are bound at Freeze and live entirely in the task's shard, so the
-// call is one hash route plus one map lookup — no join-key hashing and no
-// allocation.
+// their join buckets resolved — the matcher's per-job probe, which lives
+// entirely in the task's shard. On a frozen store the groups and buckets
+// were bound at Freeze, so the call is one hash route plus one map lookup —
+// no join-key hashing and no allocation. Mid-run (unfrozen) the entries
+// are assembled live from the incrementally maintained file and join-key
+// indices, reflecting every record ingested so far.
 func (s *Store) JoinEntriesForJob(pandaID, jediTaskID int64) []JoinEntry {
-	s.Freeze()
-	return s.shards[s.ShardFor(jediTaskID)].entriesByJob[pandaTask{pandaID, jediTaskID}]
+	sh := s.shards[s.ShardFor(jediTaskID)]
+	if s.frozen.Load() {
+		return sh.entriesByJob[pandaTask{pandaID, jediTaskID}]
+	}
+	return sh.liveEntriesForJob(pandaID, jediTaskID)
 }
 
 // Counts of ingested records.
@@ -346,11 +403,17 @@ func (s *Store) TaskTransfersByActivity() map[records.Activity]int {
 
 // Jobs returns the jobs with EndTime in [from, to) and the given label
 // ("" = any), sorted by pandaid. This mirrors the paper's query semantics:
-// only jobs completed inside the window are reported. The window is
-// resolved by binary search over the merged EndTime index.
+// only jobs completed inside the window are reported. On a frozen store the
+// window is resolved by binary search over the merged EndTime index; on a
+// live store it is merged on the fly from every shard's sealed segments and
+// tail — identical results either way.
 func (s *Store) Jobs(from, to simtime.VTime, label records.SourceLabel) []*records.JobRecord {
-	s.Freeze()
-	seg := timeRange(s.jobsByEnd, from, to, func(j *records.JobRecord) simtime.VTime { return j.EndTime })
+	var seg []*records.JobRecord
+	if s.frozen.Load() {
+		seg = timeRange(s.jobsByEnd, from, to, jobEnd)
+	} else {
+		seg = s.liveJobWindow(from, to)
+	}
 	var out []*records.JobRecord
 	for _, j := range seg {
 		if label == "" || j.Label == label {
@@ -358,6 +421,18 @@ func (s *Store) Jobs(from, to simtime.VTime, label records.SourceLabel) []*recor
 		}
 	}
 	sort.SliceStable(out, func(i, k int) bool { return out[i].PandaID < out[k].PandaID })
+	return out
+}
+
+// liveJobWindow merges the [from, to) EndTime window across every shard's
+// sealed segments and tail, ordered by (EndTime, ingestion seq).
+func (s *Store) liveJobWindow(from, to simtime.VTime) []*records.JobRecord {
+	var runs [][]*records.JobRecord
+	var seqs [][]uint32
+	for _, sh := range s.shards {
+		sh.jobSegs.windows(&sh.jobs, sh.jobSeq, from, to, false, &runs, &seqs)
+	}
+	out, _ := mergeRuns(runs, seqs, jobEnd, false)
 	return out
 }
 
@@ -383,9 +458,9 @@ func (s *Store) Job(pandaID int64) (*records.JobRecord, bool) {
 // shard, so this probes exactly one shard.
 func (s *Store) FilesForJob(pandaID, jediTaskID int64) []*records.FileRecord {
 	var out []*records.FileRecord
-	for _, f := range s.shards[s.ShardFor(jediTaskID)].filesByPanda[pandaID] {
-		if f.JediTaskID == jediTaskID {
-			out = append(out, f)
+	for _, fe := range s.shards[s.ShardFor(jediTaskID)].filesByPanda[pandaID] {
+		if fe.row.JediTaskID == jediTaskID {
+			out = append(out, fe.row)
 		}
 	}
 	return out
@@ -482,13 +557,23 @@ func (s *Store) TaskTransfersByKey(jedi int64, key JoinKey) []*records.TransferE
 
 // Transfers returns events with StartedAt in [from, to); from==to==0 means
 // everything. Events are ordered by StartedAt (ties in global ingestion
-// order); the window is resolved by binary search over the merged StartedAt
-// index and the returned slice aliases the index, so callers must not
-// modify it.
+// order). On a frozen store the window is resolved by binary search over
+// the merged StartedAt index and the returned slice aliases it; on a live
+// store the window is merged on the fly from sealed segments and tails.
+// Either way callers must not modify the result.
 func (s *Store) Transfers(from, to simtime.VTime) []*records.TransferEvent {
-	s.Freeze()
-	if from == 0 && to == 0 {
-		return s.evByStart
+	if s.frozen.Load() {
+		if from == 0 && to == 0 {
+			return s.evByStart
+		}
+		return timeRange(s.evByStart, from, to, evStart)
 	}
-	return timeRange(s.evByStart, from, to, func(ev *records.TransferEvent) simtime.VTime { return ev.StartedAt })
+	var runs [][]*records.TransferEvent
+	var seqs [][]uint32
+	all := from == 0 && to == 0
+	for _, sh := range s.shards {
+		sh.evSegs.windows(&sh.events, sh.evSeq, from, to, all, &runs, &seqs)
+	}
+	out, _ := mergeRuns(runs, seqs, evStart, false)
+	return out
 }

@@ -1,0 +1,90 @@
+package metastore_test
+
+import (
+	"sort"
+	"testing"
+
+	"panrucio/internal/metastore"
+	"panrucio/internal/records"
+	"panrucio/internal/simtime"
+)
+
+// FuzzSegmentMerge fuzzes the k-way (time, ingestion-seq) merge over
+// sealed segments + tail through the public query surface. The input
+// bytes drive shard count, segment size, event times, and explicit Seal()
+// calls, so the fuzzer explores arbitrary segment boundaries; the oracle
+// is the definition of the merge itself — a stable sort of the full put
+// stream by time, which a single-run store trivially produces and which
+// any segmentation must reproduce byte-identically.
+//
+// Input layout: data[0] → segment rows (1..8), data[1] → shard count
+// (1..8), then one event per byte: 0xFF seals every shard's tail, any
+// other value b ingests a transfer with StartedAt = b%23 (tiny time pool →
+// heavy ties, so the seq tiebreak is always load-bearing).
+func FuzzSegmentMerge(f *testing.F) {
+	f.Add([]byte("\x02\x03abacus-sealed\xffsegments-tail"))
+	f.Add([]byte("\x01\x01\x00\x00\x00\x00"))
+	f.Add([]byte("\x03\x08\xff\xff\x01\x02\x03\xff\x04\x05"))
+	f.Add([]byte("\x05\x04the same byte the same byte the same byte"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		segRows := 1 + int(data[0]%8)
+		shards := 1 + int(data[1]%8)
+		s := metastore.NewShardedSegmented(shards, segRows)
+
+		var model []records.TransferEvent
+		for i, b := range data[2:] {
+			if b == 0xFF {
+				s.Seal()
+				continue
+			}
+			ev := records.TransferEvent{
+				EventID:    int64(i + 1),
+				JediTaskID: int64(1 + b%3), // tasks spread rows across shards
+				LFN:        "f", Scope: "s", Dataset: "d", ProdDBlock: "p",
+				StartedAt: simtime.VTime(b % 23),
+				EndedAt:   simtime.VTime(b%23) + 40,
+			}
+			s.PutTransfer(&ev)
+			model = append(model, ev)
+		}
+
+		// Oracle: the stable sort of the ingest stream by StartedAt.
+		want := make([]records.TransferEvent, len(model))
+		copy(want, model)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].StartedAt < want[j].StartedAt })
+
+		check := func(label string, got []*records.TransferEvent, want []records.TransferEvent) {
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d events, want %d", label, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].EventID != want[i].EventID {
+					t.Fatalf("%s: event %d is id=%d, want id=%d", label, i, got[i].EventID, want[i].EventID)
+				}
+			}
+		}
+
+		check("live full", s.Transfers(0, 0), want)
+		if len(data) >= 5 {
+			lo := simtime.VTime(data[2] % 23)
+			hi := simtime.VTime(data[3]%23) + 1
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			var ww []records.TransferEvent
+			for _, ev := range want {
+				if ev.StartedAt >= lo && ev.StartedAt < hi {
+					ww = append(ww, ev)
+				}
+			}
+			check("live window", s.Transfers(lo, hi), ww)
+		}
+
+		// The frozen (compacted) path must agree with the live merge.
+		s.Freeze()
+		check("frozen full", s.Transfers(0, 0), want)
+	})
+}

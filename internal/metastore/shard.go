@@ -1,8 +1,6 @@
 package metastore
 
 import (
-	"sort"
-
 	"panrucio/internal/records"
 	"panrucio/internal/simtime"
 )
@@ -12,56 +10,72 @@ import (
 // follow their task, task-less (background) events are spread round-robin.
 // Matching is task-local, so every per-task index is shard-complete: the
 // matcher's JoinEntriesForJob/TaskTransfersByKey probes touch exactly one
-// shard. Only the time-ranged queries need cross-shard data, and those are
-// served by the store-level indices merged from the per-shard sorted runs
-// at Freeze.
+// shard. The hash indices are maintained incrementally at ingest; the
+// time-sorted view of each arena is a segIndex — immutable sealed segments
+// plus a mutable tail — so the time-ranged queries can answer at any point
+// mid-run by merging sealed+tail runs, and Freeze only sorts the current
+// tail instead of re-sorting history.
 type shard struct {
-	strings *internTable // shared, read-only during freeze
-
 	jobs   arena[records.JobRecord]
 	files  arena[records.FileRecord]
 	events arena[records.TransferEvent]
 
 	// Global put sequence per arena row. Rows within a shard are already in
-	// global ingestion order; the sequences order rows across shards when
-	// the per-shard sorted runs are merged (time ties keep ingestion order)
+	// global ingestion order; the sequences order rows across shards and
+	// segments when sorted runs are merged (time ties keep ingestion order)
 	// and when per-LFN buckets are built.
 	jobSeq []uint32
 	evSeq  []uint32
 
-	filesByPanda map[int64][]*records.FileRecord
+	// Segmented (time, seq) indices over the jobs and events arenas.
+	jobSegs segIndex[records.JobRecord]
+	evSegs  segIndex[records.TransferEvent]
+
+	filesByPanda map[int64][]fileEntry
 	evByTask     map[int64][]*records.TransferEvent
 	evByTaskKey  map[taskSymKey][]*records.TransferEvent
-	entriesByJob map[pandaTask][]JoinEntry
 
-	// Freeze scratch: sorted runs handed to the store-level merge, released
-	// once the merged indices are built.
-	jobsByEnd  []*records.JobRecord
-	jobsEndSeq []uint32
-	evByStart  []*records.TransferEvent
-	evStartSeq []uint32
+	// entriesByJob binds each job's file rows to their candidate buckets at
+	// Freeze — the frozen store's allocation-free matcher probe. Mid-run the
+	// probe is answered live from filesByPanda + evByTaskKey instead.
+	entriesByJob map[pandaTask][]JoinEntry
 }
 
-func newShard(strings *internTable) *shard {
-	return &shard{
-		strings:      strings,
-		filesByPanda: make(map[int64][]*records.FileRecord),
+// fileEntry pairs a file row with its interned join key, resolved once at
+// ingest so neither the freeze-time candidate binding nor the live
+// mid-run probe has to re-hash the row's strings.
+type fileEntry struct {
+	row *records.FileRecord
+	key symKey
+}
+
+func jobEnd(j *records.JobRecord) simtime.VTime       { return j.EndTime }
+func evStart(ev *records.TransferEvent) simtime.VTime { return ev.StartedAt }
+
+func newShard(segRows int) *shard {
+	sh := &shard{
+		filesByPanda: make(map[int64][]fileEntry),
 		evByTask:     make(map[int64][]*records.TransferEvent),
 		evByTaskKey:  make(map[taskSymKey][]*records.TransferEvent),
 	}
+	sh.jobSegs.at, sh.jobSegs.limit = jobEnd, segRows
+	sh.evSegs.at, sh.evSegs.limit = evStart, segRows
+	return sh
 }
 
 // putJob ingests one job row (already canonicalized by the store).
 func (sh *shard) putJob(j records.JobRecord, seq uint32) *records.JobRecord {
 	p := sh.jobs.put(j)
 	sh.jobSeq = append(sh.jobSeq, seq)
+	sh.jobSegs.noteAppend(&sh.jobs, sh.jobSeq)
 	return p
 }
 
-// putFile ingests one file row (already canonicalized by the store).
-func (sh *shard) putFile(f records.FileRecord) *records.FileRecord {
+// putFile ingests one file row (already canonicalized by the store); key
+// is the row's interned join key.
+func (sh *shard) putFile(f records.FileRecord, key symKey) *records.FileRecord {
 	p := sh.files.put(f)
-	sh.filesByPanda[f.PandaID] = append(sh.filesByPanda[f.PandaID], p)
+	sh.filesByPanda[f.PandaID] = append(sh.filesByPanda[f.PandaID], fileEntry{row: p, key: key})
 	return p
 }
 
@@ -70,6 +84,7 @@ func (sh *shard) putFile(f records.FileRecord) *records.FileRecord {
 func (sh *shard) putTransfer(ev records.TransferEvent, key symKey, seq uint32) *records.TransferEvent {
 	p := sh.events.put(ev)
 	sh.evSeq = append(sh.evSeq, seq)
+	sh.evSegs.noteAppend(&sh.events, sh.evSeq)
 	if ev.JediTaskID != 0 {
 		sh.evByTask[ev.JediTaskID] = append(sh.evByTask[ev.JediTaskID], p)
 		tk := taskSymKey{ev.JediTaskID, key}
@@ -78,49 +93,58 @@ func (sh *shard) putTransfer(ev records.TransferEvent, key symKey, seq uint32) *
 	return p
 }
 
-// freeze builds the shard's sorted time runs and the pre-resolved join
-// entries. Shards freeze concurrently: each touches only its own arenas and
-// indices plus read-only lookups in the shared intern table.
+// seal closes both tails into sealed segments (sorting in the background);
+// ingestion may continue into the fresh tails immediately.
+func (sh *shard) seal() {
+	sh.jobSegs.seal(&sh.jobs, sh.jobSeq)
+	sh.evSegs.seal(&sh.events, sh.evSeq)
+}
+
+// freeze finalizes the shard for the frozen query path: seal the tails,
+// compact all sealed segments into one run per arena, and bind the
+// pre-resolved join entries. Shards freeze concurrently: each touches only
+// its own arenas and indices.
 func (sh *shard) freeze() {
-	sh.jobsByEnd, sh.jobsEndSeq = sortedRun(&sh.jobs, sh.jobSeq,
-		func(j *records.JobRecord) simtime.VTime { return j.EndTime })
-	sh.evByStart, sh.evStartSeq = sortedRun(&sh.events, sh.evSeq,
-		func(ev *records.TransferEvent) simtime.VTime { return ev.StartedAt })
+	sh.seal()
+	sh.jobSegs.compact()
+	sh.evSegs.compact()
 
 	sh.entriesByJob = make(map[pandaTask][]JoinEntry, len(sh.filesByPanda))
-	for i, n := 0, sh.files.len(); i < n; i++ {
-		f := sh.files.at(i)
-		key, ok := sh.fileSymKey(f)
-		var candidates []*records.TransferEvent
-		if ok {
-			candidates = sh.evByTaskKey[taskSymKey{f.JediTaskID, key}]
+	for panda, list := range sh.filesByPanda {
+		for _, fe := range list {
+			k := pandaTask{panda, fe.row.JediTaskID}
+			sh.entriesByJob[k] = append(sh.entriesByJob[k], JoinEntry{
+				File:       fe.row,
+				Candidates: sh.evByTaskKey[taskSymKey{fe.row.JediTaskID, fe.key}],
+			})
 		}
-		k := pandaTask{f.PandaID, f.JediTaskID}
-		sh.entriesByJob[k] = append(sh.entriesByJob[k], JoinEntry{File: f, Candidates: candidates})
 	}
 }
 
-// fileSymKey resolves a file row's interned join key. The row's fields were
-// canonicalized at ingest, so a miss is impossible for rows this store
-// ingested; the ok return guards the contract anyway.
-func (sh *shard) fileSymKey(f *records.FileRecord) (symKey, bool) {
-	lfn, ok1 := sh.strings.lookup(f.LFN)
-	scope, ok2 := sh.strings.lookup(f.Scope)
-	ds, ok3 := sh.strings.lookup(f.Dataset)
-	pdb, ok4 := sh.strings.lookup(f.ProdDBlock)
-	return symKey{lfn, scope, ds, pdb}, ok1 && ok2 && ok3 && ok4
-}
-
-// releaseRuns drops the freeze scratch once the store-level merge has
-// consumed it, so steady-state memory holds one sorted copy per index, not
-// two.
-func (sh *shard) releaseRuns() {
-	sh.jobsByEnd, sh.jobsEndSeq = nil, nil
-	sh.evByStart, sh.evStartSeq = nil, nil
+// liveEntriesForJob answers the matcher's per-job probe mid-run, before any
+// freeze: the job's file rows with their candidate buckets resolved from
+// the incrementally maintained indices. Unlike the frozen path this
+// allocates the entry slice per call — the price of a moving target.
+func (sh *shard) liveEntriesForJob(pandaID, jediTaskID int64) []JoinEntry {
+	var out []JoinEntry
+	for _, fe := range sh.filesByPanda[pandaID] {
+		if fe.row.JediTaskID != jediTaskID {
+			continue
+		}
+		out = append(out, JoinEntry{
+			File:       fe.row,
+			Candidates: sh.evByTaskKey[taskSymKey{jediTaskID, fe.key}],
+		})
+	}
+	return out
 }
 
 // reset rewinds the shard for reuse, keeping arena chunks and map capacity.
+// Segment indices reset first: reset waits out any in-flight background
+// sort, so a sorter can never race the arena clear.
 func (sh *shard) reset() {
+	sh.jobSegs.reset()
+	sh.evSegs.reset()
 	sh.jobs.reset()
 	sh.files.reset()
 	sh.events.reset()
@@ -130,73 +154,4 @@ func (sh *shard) reset() {
 	clear(sh.evByTask)
 	clear(sh.evByTaskKey)
 	sh.entriesByJob = nil
-	sh.releaseRuns()
-}
-
-// sortedRun stable-sorts one arena's rows by a time key. Arena order is
-// ingestion order, so the run comes out ordered by (time, local ingestion
-// order) with the matching global sequences alongside for the merge.
-func sortedRun[T any](a *arena[T], seqs []uint32, at func(*T) simtime.VTime) ([]*T, []uint32) {
-	n := a.len()
-	ptrs := make([]*T, n)
-	for i := 0; i < n; i++ {
-		ptrs[i] = a.at(i)
-	}
-	perm := make([]int32, n)
-	for i := range perm {
-		perm[i] = int32(i)
-	}
-	sort.SliceStable(perm, func(i, k int) bool {
-		return at(ptrs[perm[i]]) < at(ptrs[perm[k]])
-	})
-	outP := make([]*T, n)
-	outS := make([]uint32, n)
-	for i, p := range perm {
-		outP[i] = ptrs[p]
-		outS[i] = seqs[p]
-	}
-	return outP, outS
-}
-
-// mergeRuns k-way-merges per-shard sorted runs into one globally sorted
-// index, ordering by (time, global sequence) — byte-identical to stable-
-// sorting the full ingest stream, for any shard count. Time keys are
-// extracted once up front so the merge loop compares plain integers.
-func mergeRuns[T any](runs [][]*T, seqs [][]uint32, at func(*T) simtime.VTime) []*T {
-	if len(runs) == 1 {
-		return runs[0]
-	}
-	total := 0
-	times := make([][]simtime.VTime, len(runs))
-	for i, run := range runs {
-		total += len(run)
-		ts := make([]simtime.VTime, len(run))
-		for k, p := range run {
-			ts[k] = at(p)
-		}
-		times[i] = ts
-	}
-	out := make([]*T, 0, total)
-	heads := make([]int, len(runs))
-	for len(out) < total {
-		best := -1
-		for i := range runs {
-			h := heads[i]
-			if h >= len(runs[i]) {
-				continue
-			}
-			if best == -1 {
-				best = i
-				continue
-			}
-			hb := heads[best]
-			if times[i][h] < times[best][hb] ||
-				(times[i][h] == times[best][hb] && seqs[i][h] < seqs[best][hb]) {
-				best = i
-			}
-		}
-		out = append(out, runs[best][heads[best]])
-		heads[best]++
-	}
-	return out
 }

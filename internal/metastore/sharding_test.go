@@ -2,122 +2,38 @@ package metastore_test
 
 import (
 	"fmt"
-	"math/rand"
 	"reflect"
 	"testing"
 
 	"panrucio/internal/metastore"
+	"panrucio/internal/metastore/storetest"
 	"panrucio/internal/records"
-	"panrucio/internal/simtime"
 )
 
-// randomStream generates a deterministic pseudo-random put stream designed
-// to stress the sharding invariants: duplicate pandaids, task-less
-// background events, arbitrary (non-monotonic) event ids, heavy time-key
-// ties, and join keys shared across tasks.
-type randomStream struct {
-	jobs  []records.JobRecord
-	files []records.FileRecord
-	evs   []records.TransferEvent
-	puts  []int // interleave: 0=job, 1=file, 2=transfer, in stream order
-}
+// The fuzzed put streams and flattening helpers live in the shared
+// storetest package; these tests pin the frozen (batch) query path, the
+// cut-point suite in cutpoint_test.go pins the live one.
 
-func makeStream(seed int64, n int) *randomStream {
-	rng := rand.New(rand.NewSource(seed))
-	st := &randomStream{}
-	labels := []records.SourceLabel{records.LabelUser, records.LabelManaged}
-	acts := []records.Activity{records.AnalysisDownload, records.ProductionUp, records.DataRebalancing}
-	for i := 0; i < n; i++ {
-		task := int64(rng.Intn(17)) // small pool → many shard collisions, incl. 0
-		switch k := rng.Intn(4); k {
-		case 0:
-			st.jobs = append(st.jobs, records.JobRecord{
-				PandaID:    int64(rng.Intn(40)), // duplicates guaranteed
-				JediTaskID: task,
-				Label:      labels[rng.Intn(2)],
-				EndTime:    simtime.VTime(rng.Intn(20)), // heavy EndTime ties
-				StartTime:  simtime.VTime(rng.Intn(10)),
-			})
-			st.puts = append(st.puts, 0)
-		case 1:
-			st.files = append(st.files, records.FileRecord{
-				PandaID:    int64(rng.Intn(40)),
-				JediTaskID: task,
-				LFN:        fmt.Sprintf("f%d", rng.Intn(25)),
-				Scope:      "s",
-				Dataset:    fmt.Sprintf("d%d", rng.Intn(5)),
-				ProdDBlock: "p",
-				Kind:       records.FileInput,
-			})
-			st.puts = append(st.puts, 1)
-		default:
-			if rng.Intn(3) == 0 {
-				task = 0 // task-less background event
-			}
-			st.evs = append(st.evs, records.TransferEvent{
-				EventID:    int64(rng.Intn(1 << 30)), // arbitrary, non-monotonic
-				JediTaskID: task,
-				LFN:        fmt.Sprintf("f%d", rng.Intn(25)),
-				Scope:      "s",
-				Dataset:    fmt.Sprintf("d%d", rng.Intn(5)),
-				ProdDBlock: "p",
-				Activity:   acts[rng.Intn(3)],
-				StartedAt:  simtime.VTime(rng.Intn(20)), // heavy StartedAt ties
-				EndedAt:    simtime.VTime(20 + rng.Intn(20)),
-			})
-			st.puts = append(st.puts, 2)
-		}
-	}
-	return st
-}
-
-// ingest replays the stream into the store in its recorded order.
-func (st *randomStream) ingest(s *metastore.Store) {
-	var j, f, e int
-	for _, k := range st.puts {
-		switch k {
-		case 0:
-			s.PutJob(&st.jobs[j])
-			j++
-		case 1:
-			s.PutFile(&st.files[f])
-			f++
-		default:
-			s.PutTransfer(&st.evs[e])
-			e++
-		}
-	}
+func ingestFrozen(st *storetest.Stream, s *metastore.Store) {
+	st.Ingest(s)
 	s.Freeze()
 }
 
-// evValues flattens a query result to comparable values (the stores copy
-// records into their own arenas, so pointer identity never matches).
-func evValues(evs []*records.TransferEvent) []records.TransferEvent {
-	out := make([]records.TransferEvent, len(evs))
-	for i, ev := range evs {
-		out[i] = *ev
-	}
-	return out
-}
-
-func jobValues(js []*records.JobRecord) []records.JobRecord {
-	out := make([]records.JobRecord, len(js))
-	for i, j := range js {
-		out[i] = *j
-	}
-	return out
-}
+var (
+	evValues  = storetest.EvValues
+	jobValues = storetest.JobValues
+)
 
 // TestShardCountEquivalence is the core invariant of the sharded store:
 // every query surface returns byte-identical results for any shard count.
 func TestShardCountEquivalence(t *testing.T) {
-	st := makeStream(42, 4000)
+	st := storetest.Make(42, 4000)
 	ref := metastore.NewSharded(1)
-	st.ingest(ref)
+	ingestFrozen(st, ref)
 
 	for _, n := range []int{4, 8} {
 		s := metastore.NewSharded(n)
-		st.ingest(s)
+		ingestFrozen(st, s)
 
 		if s.ShardCount() != n {
 			t.Fatalf("ShardCount() = %d, want %d", s.ShardCount(), n)
@@ -204,8 +120,8 @@ func TestShardCountEquivalence(t *testing.T) {
 // must not pin one scenario's strings (or symbols) through the next.
 func TestResetClearsInternTable(t *testing.T) {
 	s := metastore.NewSharded(4)
-	st := makeStream(7, 500)
-	st.ingest(s)
+	st := storetest.Make(7, 500)
+	ingestFrozen(st, s)
 	if s.InternedStrings() == 0 {
 		t.Fatal("ingest interned nothing")
 	}
@@ -229,15 +145,15 @@ func TestResetClearsInternTable(t *testing.T) {
 // scenario A; every query surface must match a fresh store that only ever
 // saw B.
 func TestResetReusedStoreMatchesFresh(t *testing.T) {
-	a, b := makeStream(1, 3000), makeStream(2, 3000)
+	a, b := storetest.Make(1, 3000), storetest.Make(2, 3000)
 
 	fresh := metastore.NewSharded(4)
-	b.ingest(fresh)
+	ingestFrozen(b, fresh)
 
 	reused := metastore.NewSharded(4)
-	a.ingest(reused)
+	ingestFrozen(a, reused)
 	reused.Reset()
-	b.ingest(reused)
+	ingestFrozen(b, reused)
 
 	if reused.InternedStrings() != fresh.InternedStrings() {
 		t.Errorf("interned strings diverged after reuse: %d vs %d",

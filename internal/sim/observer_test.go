@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"panrucio/internal/core"
+	"panrucio/internal/metastore"
+	"panrucio/internal/simtime"
+)
+
+// TestRunWithObserverSeesMonotoneLiveStore drives the mid-run checkpoint
+// hook over a quick scenario with small segments: every checkpoint must
+// see a queryable live store whose counts never go backwards, and the
+// matcher must run against it without a Freeze.
+func TestRunWithObserverSeesMonotoneLiveStore(t *testing.T) {
+	cfg := QuickConfig(5)
+	cfg.SegmentRows = 2048 // force mid-run seals at quick-run volume
+
+	var (
+		calls      int
+		lastNow    simtime.VTime
+		lastEvents int
+		matched    int
+	)
+	res := RunWithObserver(cfg, 6*simtime.Hour, func(now simtime.VTime, s *metastore.Store) {
+		calls++
+		if now <= lastNow {
+			t.Fatalf("checkpoint %d: time went backwards (%v after %v)", calls, now, lastNow)
+		}
+		lastNow = now
+		if n := s.TransferCount(); n < lastEvents {
+			t.Fatalf("checkpoint %d: TransferCount shrank mid-run (%d after %d)", calls, n, lastEvents)
+		} else {
+			lastEvents = n
+		}
+
+		// The live store answers windowed queries and full matcher probes.
+		if evs := s.Transfers(0, now); len(evs) > 0 && evs[len(evs)-1].StartedAt >= now {
+			t.Fatalf("checkpoint %d: windowed query leaked a future event", calls)
+		}
+		m := core.NewMatcher(s)
+		for _, j := range s.Jobs(0, now, "") {
+			if len(m.MatchJob(j, core.RM2)) > 0 {
+				matched++
+			}
+		}
+	})
+
+	if want := 2*4 - 1; calls != want { // 2 days at 6h cadence, minus the horizon tick
+		t.Fatalf("observer ran %d times, want %d", calls, want)
+	}
+	if matched == 0 {
+		t.Fatal("no job ever matched mid-run")
+	}
+	if res.Store.SealedSegments() == 0 {
+		t.Fatal("small segments never sealed during the run")
+	}
+
+	// The observer is read-only: the run's outcome must be identical to a
+	// plain Run of the same config.
+	plain := Run(cfg)
+	if res.SubmittedJobs != plain.SubmittedJobs || res.FinishedJobs != plain.FinishedJobs ||
+		res.EmittedEvents != plain.EmittedEvents || res.MovedBytes != plain.MovedBytes ||
+		res.Store.TransferCount() != plain.Store.TransferCount() ||
+		res.Store.JobCount() != plain.Store.JobCount() {
+		t.Fatal("observed run diverged from plain Run")
+	}
+	a, b := res.Store.Transfers(0, 0), plain.Store.Transfers(0, 0)
+	if len(a) != len(b) {
+		t.Fatalf("frozen stores diverged: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].EventID != b[i].EventID {
+			t.Fatalf("frozen stores diverged at event %d", i)
+		}
+	}
+}
+
+// TestRunWithObserverDegeneratesToRun pins the guard rails: a nil observer
+// or non-positive cadence is plain Run.
+func TestRunWithObserverDegeneratesToRun(t *testing.T) {
+	cfg := QuickConfig(3)
+	plain := Run(cfg)
+	for _, every := range []simtime.VTime{0, -simtime.Hour} {
+		res := RunWithObserver(cfg, every, func(simtime.VTime, *metastore.Store) {
+			t.Fatal("observer fired despite non-positive cadence")
+		})
+		if res.StoredEvents != plain.StoredEvents || res.MovedBytes != plain.MovedBytes {
+			t.Fatalf("every=%v: result diverged from Run", every)
+		}
+	}
+	res := RunWithObserver(cfg, simtime.Hour, nil)
+	if res.StoredEvents != plain.StoredEvents {
+		t.Fatal("nil observer: result diverged from Run")
+	}
+}

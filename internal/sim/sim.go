@@ -55,6 +55,11 @@ type Config struct {
 	// metastore.DefaultShards). Purely a performance knob: outputs are
 	// byte-identical for any value.
 	Shards int
+
+	// SegmentRows selects the metastore's per-shard segment-seal threshold
+	// (0 picks metastore.DefaultSegmentRows). Like Shards, purely a
+	// performance knob: outputs are byte-identical for any value.
+	SegmentRows int
 }
 
 func (c *Config) fill() {
@@ -91,7 +96,24 @@ type Result struct {
 // Run executes the scenario to its horizon and returns the populated
 // metastore plus run statistics. Deterministic for a given Config.
 func Run(cfg Config) *Result {
-	return RunReusing(cfg, metastore.NewSharded(cfg.Shards))
+	return RunReusing(cfg, metastore.NewShardedSegmented(cfg.Shards, cfg.SegmentRows))
+}
+
+// Observer is a mid-run checkpoint callback: it receives the virtual time
+// of the checkpoint and the live, un-frozen store, which answers every
+// query over exactly the records ingested so far (sealed segments + tail).
+// Observers must treat the store as read-only and must not retain record
+// pointers past the run (the store is reset on reuse).
+type Observer func(now simtime.VTime, store *metastore.Store)
+
+// RunWithObserver is Run with a periodic mid-run checkpoint: every `every`
+// of virtual time, obs is called with the live store. The observer rides
+// the scenario's own event engine but mutates nothing, so the simulation
+// trajectory — and the returned Result — is identical to Run's for the
+// same Config. every <= 0 or a nil obs degenerates to plain Run.
+func RunWithObserver(cfg Config, every simtime.VTime, obs Observer) *Result {
+	store := metastore.NewShardedSegmented(cfg.Shards, cfg.SegmentRows)
+	return runReusing(cfg, store, every, obs)
 }
 
 // RunReusing is Run with a caller-provided metastore: the store is Reset
@@ -101,6 +123,10 @@ func Run(cfg Config) *Result {
 // same Config, but any records or query results obtained from the store
 // before the call are invalidated.
 func RunReusing(cfg Config, store *metastore.Store) *Result {
+	return runReusing(cfg, store, 0, nil)
+}
+
+func runReusing(cfg Config, store *metastore.Store, every simtime.VTime, obs Observer) *Result {
 	store.Reset()
 	cfg.fill()
 	if cfg.Scale > 0 && cfg.Scale != 1 {
@@ -133,6 +159,19 @@ func RunReusing(cfg Config, store *metastore.Store) *Result {
 	workload.Start(eng, grid, ruc, pan, root.Split("workload"), cfg.Workload)
 	if !cfg.DisableBackground {
 		rucio.StartBackground(ruc, root.Split("background"), cfg.Background)
+	}
+	if obs != nil && every > 0 {
+		// The checkpoint event reschedules itself until the horizon. It only
+		// reads the store, so it cannot perturb the trajectory of the
+		// scenario's own events.
+		var tick func()
+		tick = func() {
+			obs(eng.Now(), store)
+			if eng.Now()+every < horizon {
+				eng.After(every, "observer", tick)
+			}
+		}
+		eng.After(every, "observer", tick)
 	}
 
 	eng.Run()

@@ -27,6 +27,10 @@ type Options struct {
 	// picks metastore.DefaultShards). Purely a performance knob: the
 	// report is byte-identical for any value.
 	Shards int
+	// SegmentRows selects the per-shard segment-seal threshold of each
+	// worker's metastore (<= 0 picks metastore.DefaultSegmentRows). Like
+	// Shards, the report is byte-identical for any value.
+	SegmentRows int
 }
 
 func (o *Options) fill(scenarios int) {
@@ -109,7 +113,7 @@ func Run(scenarios []Scenario, opt Options) *Report {
 	outcomes := make([]Outcome, len(scenarios))
 
 	if opt.Workers <= 1 {
-		store := metastore.NewSharded(opt.Shards)
+		store := metastore.NewShardedSegmented(opt.Shards, opt.SegmentRows)
 		for i, sc := range scenarios {
 			outcomes[i] = evaluate(sc, store, opt.MatchWorkers)
 		}
@@ -122,7 +126,7 @@ func Run(scenarios []Scenario, opt Options) *Report {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			store := metastore.NewSharded(opt.Shards)
+			store := metastore.NewShardedSegmented(opt.Shards, opt.SegmentRows)
 			for i := range idx {
 				outcomes[i] = evaluate(scenarios[i], store, opt.MatchWorkers)
 			}
