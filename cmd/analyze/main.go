@@ -77,6 +77,9 @@ func parseFlags(args []string) (*options, error) {
 	if o.days <= 0 {
 		return nil, fmt.Errorf("-days must be positive, got %d", o.days)
 	}
+	if o.workers < 0 {
+		return nil, fmt.Errorf("-workers must be non-negative, got %d", o.workers)
+	}
 	if o.exp == "e14" {
 		// E14 runs the canned quick-scale sweep grid, not the single-suite
 		// pipeline: reject flags it would silently ignore.

@@ -26,6 +26,7 @@ func TestParseFlagsRejectsBadValues(t *testing.T) {
 		{"-exp", ""},
 		{"-days", "0"},
 		{"-workers", "x"},
+		{"-workers", "-2"},
 		{"-nope"},
 	} {
 		if _, err := parseFlags(args); err == nil {

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"panrucio/internal/serve"
+	"panrucio/internal/sim"
+)
+
+func TestParseFlagsRejectsBadValues(t *testing.T) {
+	cases := [][]string{
+		{"-seconds", "0"},
+		{"-seconds", "-1"},
+		{"-workers", "0"},
+		{"-ramp", "-1"},
+		{"-ids", "0"},
+		{"-wait", "-1"},
+		{"-max-error-rate", "-1"},
+		{"-format", "xml"},
+		{"-mix", "bogus=1"},
+		{"-mix", "meta"},
+		{"-mix", "meta=0,job=0"},
+		{"-mix", "meta=x"},
+		{"-mix", "meta=-1"},
+		{"-nosuch"},
+	}
+	for _, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted, want error", args)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("meta=2, job=1,sweep=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w["meta"] != 2 || w["job"] != 1 || w["sweep"] != 0 {
+		t.Fatalf("weights = %v", w)
+	}
+	if _, err := parseMix(defaultMix); err != nil {
+		t.Fatalf("default mix rejected: %v", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if p := percentile(lats, 0.50); p != 50_000 {
+		t.Errorf("p50 = %g, want 50000us", p)
+	}
+	if p := percentile(lats, 0.99); p != 99_000 {
+		t.Errorf("p99 = %g, want 99000us", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty p50 = %g", p)
+	}
+}
+
+// TestScheduleDeterministic pins the deterministic-schedule contract: the
+// same seed draws the same request sequence.
+func TestScheduleDeterministic(t *testing.T) {
+	sc := &schedule{
+		table:       []string{"meta", "job", "match", "task", "experiments", "pandaids"},
+		pandaIDs:    []int64{10, 20, 30},
+		jediTaskIDs: []int64{7, 8},
+		experiments: []string{"summary", "rates"},
+	}
+	draw := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		var seq []string
+		for i := 0; i < 50; i++ {
+			m, p := sc.pick(rng)
+			seq = append(seq, m+" "+p)
+		}
+		return seq
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	if c := draw(43); strings.Join(a, "\n") == strings.Join(c, "\n") {
+		t.Fatal("different seeds produced identical 50-request sequences")
+	}
+}
+
+// TestRunAgainstServe is the end-to-end smoke: a short burst against an
+// in-process frozen server must complete with zero errors and well-formed
+// metrics in both formats.
+func TestRunAgainstServe(t *testing.T) {
+	ts := httptest.NewServer(serve.NewFrozen(sim.Run(sim.QuickConfig(11)), serve.Options{}))
+	defer ts.Close()
+
+	o, err := parseFlags([]string{
+		"-url", ts.URL, "-seconds", "0.3", "-workers", "4",
+		"-mix", "meta=2,experiments=4,job=3,match=3,task=1,pandaids=1",
+		"-ids", "16", "-format", "json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Errors != 0 {
+		t.Fatalf("errors = %d (%.2f%%), want 0", m.Errors, m.ErrorPct)
+	}
+	if m.Requests == 0 || m.QPS <= 0 || m.P50us <= 0 || m.P99us < m.P50us {
+		t.Fatalf("degenerate metrics: %+v", m)
+	}
+
+	var buf bytes.Buffer
+	if err := render(&buf, o, m); err != nil {
+		t.Fatal(err)
+	}
+	var decoded metrics
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("json output not parseable: %v\n%s", err, buf.String())
+	}
+	if decoded.Requests != m.Requests {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", decoded, m)
+	}
+
+	buf.Reset()
+	o.format = "text"
+	if err := render(&buf, o, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "BenchmarkLoadgen") ||
+		!strings.Contains(buf.String(), "p99_us") {
+		t.Fatalf("text output missing benchmark line:\n%s", buf.String())
+	}
+}

@@ -56,6 +56,9 @@ func parseFlags(args []string) (*options, error) {
 	if o.days <= 0 {
 		return nil, fmt.Errorf("-days must be positive, got %d", o.days)
 	}
+	if o.workers < 0 {
+		return nil, fmt.Errorf("-workers must be non-negative, got %d", o.workers)
+	}
 	if o.scale < 0 {
 		return nil, fmt.Errorf("-scale must be non-negative, got %g", o.scale)
 	}

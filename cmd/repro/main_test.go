@@ -42,6 +42,7 @@ func TestParseFlagsRejectsBadValues(t *testing.T) {
 		{"-days", "-2"},
 		{"-seed", "x"},
 		{"-scale", "-1"},
+		{"-workers", "-1"},
 		{"-shards", "-2"},
 		{"-segment-rows", "-1"},
 		{"-unknown"},

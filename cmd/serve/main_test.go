@@ -1,0 +1,84 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:8080" || o.seed != 1 || o.live || o.quick {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+	if o.everyHours != 6 {
+		t.Fatalf("every = %g, want 6", o.everyHours)
+	}
+}
+
+func TestParseFlagsRejectsBadValues(t *testing.T) {
+	cases := [][]string{
+		{"-days", "-1"},
+		{"-quick", "-days", "3"},
+		{"-scale", "-0.5"},
+		{"-shards", "-1"},
+		{"-segment-rows", "-8"},
+		{"-match-workers", "-2"},
+		{"-cache", "-1"},
+		{"-sweep-cap", "-1"},
+		{"-live", "-every", "0"},
+		{"-live", "-every", "-2"},
+		{"-nosuch"},
+	}
+	for _, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted, want error", args)
+		}
+	}
+}
+
+func TestParseFlagsAccepts(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-addr", ":0", "-quick", "-seed", "7", "-shards", "8",
+		"-segment-rows", "64", "-live", "-every", "12", "-cache", "32",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config(o)
+	if cfg.Seed != 7 || cfg.Days != 2 || cfg.Shards != 8 || cfg.SegmentRows != 64 {
+		t.Fatalf("config = %+v", cfg)
+	}
+}
+
+// TestBuildQuickFrozenServes is the command-level smoke: the built server
+// answers over a real listener.
+func TestBuildQuickFrozenServes(t *testing.T) {
+	o, err := parseFlags([]string{"-quick", "-shards", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(build(o))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	resp2, err := http.Get(ts.URL + "/api/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK ||
+		!strings.Contains(resp2.Header.Get("Content-Type"), "application/json") {
+		t.Fatalf("meta = %d %s", resp2.StatusCode, resp2.Header.Get("Content-Type"))
+	}
+}

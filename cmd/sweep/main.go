@@ -65,6 +65,12 @@ func parseFlags(args []string) (*options, error) {
 	if o.scenarios < 0 {
 		return nil, fmt.Errorf("-scenarios must be >= 0, got %d", o.scenarios)
 	}
+	if o.workers < 0 {
+		return nil, fmt.Errorf("-workers must be >= 0, got %d", o.workers)
+	}
+	if o.matchWorkers < 0 {
+		return nil, fmt.Errorf("-match-workers must be >= 0, got %d", o.matchWorkers)
+	}
 	if o.shards < 0 {
 		return nil, fmt.Errorf("-shards must be >= 0, got %d", o.shards)
 	}

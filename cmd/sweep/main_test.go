@@ -21,6 +21,8 @@ func TestParseFlagsRejectsBadValues(t *testing.T) {
 		{"-grid", "nope"},
 		{"-format", "xml"},
 		{"-scenarios", "-3"},
+		{"-workers", "-1"},
+		{"-match-workers", "-4"},
 		{"-shards", "-1"},
 		{"-segment-rows", "-1"},
 		{"-bogus"},

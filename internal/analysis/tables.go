@@ -89,6 +89,45 @@ func CompareMethodsParallel(m *core.Matcher, jobs []*records.JobRecord, workers 
 	}
 }
 
+// MethodRates is the value-only summary of one matching pass: the E4/E5
+// numbers with no record or store pointers, so it can be cached, compared,
+// and marshaled long after the store that produced it has moved on or been
+// reset. This is the cache-keyable shape the serving layer stores per
+// (config digest, store epoch).
+type MethodRates struct {
+	Method           string  `json:"method"`
+	MatchedTransfers int     `json:"matched_transfers"`
+	MatchedJobs      int     `json:"matched_jobs"`
+	LocalTransfers   int     `json:"local_transfers"`
+	RemoteTransfers  int     `json:"remote_transfers"`
+	JobsAllLocal     int     `json:"jobs_all_local"`
+	JobsAllRemote    int     `json:"jobs_all_remote"`
+	JobsMixed        int     `json:"jobs_mixed"`
+	TransferPct      float64 `json:"transfer_pct"`
+	JobPct           float64 `json:"job_pct"`
+}
+
+// Rates flattens one matching pass to its value-only summary.
+func Rates(r *core.Result) MethodRates {
+	return MethodRates{
+		Method:           r.Method.String(),
+		MatchedTransfers: r.MatchedTransfers,
+		MatchedJobs:      r.MatchedJobs,
+		LocalTransfers:   r.LocalTransfers,
+		RemoteTransfers:  r.RemoteTransfers,
+		JobsAllLocal:     r.JobsAllLocal,
+		JobsAllRemote:    r.JobsAllRemote,
+		JobsMixed:        r.JobsMixed,
+		TransferPct:      r.MatchedTransferPct(),
+		JobPct:           r.MatchedJobPct(),
+	}
+}
+
+// Summary flattens all three passes, in Exact/RM1/RM2 order.
+func (c *MethodComparison) Summary() []MethodRates {
+	return []MethodRates{Rates(c.Exact), Rates(c.RM1), Rates(c.RM2)}
+}
+
 // TransferCountTable renders Table 2a: matched transfer counts by method.
 func (c *MethodComparison) TransferCountTable() *report.Table {
 	t := &report.Table{

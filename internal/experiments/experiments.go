@@ -35,10 +35,20 @@ func Run(cfg sim.Config) *Suite { return RunWorkers(cfg, 1) }
 // is the entry point behind the -workers flag of cmd/repro and
 // cmd/analyze.
 func RunWorkers(cfg sim.Config, workers int) *Suite {
+	return Build(sim.Run(cfg), workers)
+}
+
+// Build derives the suite from an already-executed run: the windowed user
+// jobs plus the three matching passes, sharded across workers (<= 0
+// selects GOMAXPROCS). It never runs a simulation, so the serving layer
+// can rebuild analyses over a store it received from elsewhere — a frozen
+// Run result or a live mid-run store published by sim.RunWithObserver
+// (with Result.WindowTo set to the checkpoint time). Deterministic for a
+// given store content and window, for any workers value.
+func Build(res *sim.Result, workers int) *Suite {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	res := sim.Run(cfg)
 	jobs := res.Store.Jobs(res.WindowFrom, res.WindowTo, records.LabelUser)
 	m := core.NewMatcher(res.Store)
 	return &Suite{

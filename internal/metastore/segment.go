@@ -3,6 +3,7 @@ package metastore
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"panrucio/internal/simtime"
 )
@@ -70,7 +71,10 @@ func (r *segRun[T]) sortByTime(at func(*T) simtime.VTime) {
 // concurrent step — the segment's rows are captured synchronously, then
 // sorted by a background goroutine so ingestion continues while the sort
 // runs; every reader synchronizes through wait() before touching sealed
-// runs.
+// runs. Readers may run concurrently with each other at any time (the
+// serving layer batches them into windows where no ingest is in flight):
+// the lazily built tail view is published through an atomic pointer, so
+// racing readers at worst build the same immutable view twice.
 type segIndex[T any] struct {
 	at    func(*T) simtime.VTime
 	limit int // seal threshold in rows
@@ -78,9 +82,10 @@ type segIndex[T any] struct {
 	sealed []*segRun[T]
 	start  int // first arena row of the tail
 
-	// tail caches the sorted view of rows [start, arena.len()); nil after
-	// an append or a seal.
-	tail *segRun[T]
+	// tail caches the sorted view of rows [start, arena.len()); cleared
+	// after an append or a seal. Atomic so concurrent readers can share
+	// (or independently rebuild) the view without serializing on a lock.
+	tail atomic.Pointer[segRun[T]]
 
 	sealing sync.WaitGroup
 }
@@ -88,7 +93,7 @@ type segIndex[T any] struct {
 // noteAppend records that one row was appended to the arena, invalidating
 // the cached tail view and sealing the tail once it reaches the limit.
 func (x *segIndex[T]) noteAppend(a *arena[T], seqs []uint32) {
-	x.tail = nil
+	x.tail.Store(nil)
 	if a.len()-x.start >= x.limit {
 		x.seal(a, seqs)
 	}
@@ -115,7 +120,7 @@ func (x *segIndex[T]) seal(a *arena[T], seqs []uint32) {
 	copy(seg.seqs, seqs[x.start:n])
 	x.sealed = append(x.sealed, seg)
 	x.start = n
-	x.tail = nil
+	x.tail.Store(nil)
 	x.sealing.Add(1)
 	go func() {
 		defer x.sealing.Done()
@@ -130,10 +135,13 @@ func (x *segIndex[T]) wait() { x.sealing.Wait() }
 
 // tailRun returns the sorted view of the tail, rebuilding it only when an
 // append has invalidated the cache. The view owns fresh arrays, so runs
-// handed to callers survive later rebuilds untouched.
+// handed to callers survive later rebuilds untouched. Concurrent readers
+// may each build the view when the cache is cold — the builds are
+// identical and the last Store wins, so no locking is needed and readers
+// never serialize on each other.
 func (x *segIndex[T]) tailRun(a *arena[T], seqs []uint32) *segRun[T] {
-	if x.tail != nil {
-		return x.tail
+	if t := x.tail.Load(); t != nil {
+		return t
 	}
 	n := a.len()
 	t := &segRun[T]{
@@ -145,7 +153,7 @@ func (x *segIndex[T]) tailRun(a *arena[T], seqs []uint32) *segRun[T] {
 	}
 	copy(t.seqs, seqs[x.start:n])
 	t.sortByTime(x.at)
-	x.tail = t
+	x.tail.Store(t)
 	return t
 }
 
@@ -219,7 +227,7 @@ func (x *segIndex[T]) reset() {
 	x.wait()
 	x.sealed = nil
 	x.start = 0
-	x.tail = nil
+	x.tail.Store(nil)
 }
 
 // mergeRuns k-way-merges (time, seq)-sorted runs into one globally sorted

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheSingleflight(t *testing.T) {
+	c := newResultCache(8)
+	key := cacheKey{digest: "d", epoch: 1, id: "x"}
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	bodies := make([][]byte, 10)
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err, _ := c.get(key, func() ([]byte, error) {
+				calls.Add(1)
+				<-gate
+				return []byte("body"), nil
+			})
+			if err != nil {
+				t.Errorf("get: %v", err)
+			}
+			bodies[i] = b
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for i, b := range bodies {
+		if string(b) != "body" {
+			t.Fatalf("caller %d got %q", i, b)
+		}
+	}
+	st := c.snapshot()
+	if st.Misses != 1 || st.Hits != 9 {
+		t.Fatalf("stats = %+v, want 1 miss / 9 hits", st)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := newResultCache(8)
+	key := cacheKey{digest: "d", epoch: 1, id: "x"}
+	calls := 0
+	_, err, _ := c.get(key, func() ([]byte, error) {
+		calls++
+		return nil, errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("first get: want error")
+	}
+	b, err, cached := c.get(key, func() ([]byte, error) {
+		calls++
+		return []byte("ok"), nil
+	})
+	if err != nil || string(b) != "ok" || cached {
+		t.Fatalf("retry = (%q, %v, cached=%v), want fresh ok", b, err, cached)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (errors are not cached)", calls)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	mk := func(id string) cacheKey { return cacheKey{digest: "d", epoch: 1, id: id} }
+	body := func(id string) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte(id), nil }
+	}
+	c.get(mk("a"), body("a"))
+	c.get(mk("b"), body("b"))
+	c.get(mk("a"), body("a")) // refresh a; b becomes LRU
+	c.get(mk("c"), body("c")) // evicts b
+	if _, _, cached := c.get(mk("a"), body("a2")); !cached {
+		t.Fatal("a should have survived eviction")
+	}
+	if _, _, cached := c.get(mk("b"), body("b2")); cached {
+		t.Fatal("b should have been evicted")
+	}
+	if st := c.snapshot(); st.Evictions < 1 {
+		t.Fatalf("stats = %+v, want >= 1 eviction", st)
+	}
+}
+
+func TestCachePruneKeepsEpochZero(t *testing.T) {
+	c := newResultCache(8)
+	body := func() ([]byte, error) { return []byte("x"), nil }
+	c.get(cacheKey{digest: "d", epoch: 0, id: "sweep"}, body)
+	c.get(cacheKey{digest: "d", epoch: 1, id: "old"}, body)
+	c.get(cacheKey{digest: "d", epoch: 2, id: "cur"}, body)
+	c.prune(2)
+	cases := []struct {
+		key  cacheKey
+		want bool
+	}{
+		{cacheKey{digest: "d", epoch: 0, id: "sweep"}, true},
+		{cacheKey{digest: "d", epoch: 1, id: "old"}, false},
+		{cacheKey{digest: "d", epoch: 2, id: "cur"}, true},
+	}
+	for _, tc := range cases {
+		_, _, cached := c.get(tc.key, body)
+		if cached != tc.want {
+			t.Errorf("after prune(2), key %+v cached = %v, want %v", tc.key, cached, tc.want)
+		}
+	}
+	if st := c.snapshot(); st.Pruned != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 pruned", st)
+	}
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	c := newResultCache(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("k%d", (w+i)%6)
+				key := cacheKey{digest: "d", epoch: uint64(i%3 + 1), id: id}
+				b, err, _ := c.get(key, func() ([]byte, error) { return []byte(id), nil })
+				if err != nil || string(b) != id {
+					t.Errorf("get(%v) = (%q, %v)", key, b, err)
+					return
+				}
+				if i%10 == 0 {
+					c.prune(uint64(i%3 + 1))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"panrucio/internal/experiments"
+	"panrucio/internal/metastore"
+	"panrucio/internal/sim"
+	"panrucio/internal/simtime"
+)
+
+// Options tunes a Server. The zero value is serviceable.
+type Options struct {
+	// MatchWorkers is the matcher fan-out used when an experiment body
+	// needs the three matching passes (<= 0 selects GOMAXPROCS). Bodies
+	// are byte-identical for any value.
+	MatchWorkers int
+	// CacheEntries bounds the result cache (<= 0 selects 256).
+	CacheEntries int
+	// SweepScenarioCap bounds how many scenarios one /api/sweep launch may
+	// run (<= 0 selects 16) — the server-side guard against a request
+	// asking for an unbounded amount of compute.
+	SweepScenarioCap int
+}
+
+func (o *Options) fill() {
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 256
+	}
+	if o.SweepScenarioCap <= 0 {
+		o.SweepScenarioCap = 16
+	}
+}
+
+// state is one published snapshot of the world: the store (live or
+// frozen) plus everything analyses need, at one epoch. The suite — jobs
+// and the three matching passes — is built lazily on the first experiment
+// request of the epoch and shared by all of them.
+type state struct {
+	res   *sim.Result
+	epoch uint64
+	final bool
+
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+}
+
+func (st *state) getSuite(workers int) *experiments.Suite {
+	st.suiteOnce.Do(func() { st.suite = experiments.Build(st.res, workers) })
+	return st.suite
+}
+
+// Server is the HTTP/JSON front end over one scenario's store. Handlers
+// acquire the read half of mu for their whole request; the live
+// scenario's goroutine holds the write half while ingesting and releases
+// it at every observer checkpoint, so reads run in windows where the
+// store is quiescent — concurrently with each other, never with ingest.
+// For a frozen server the write half is never taken and reads are
+// unrestricted.
+type Server struct {
+	opt    Options
+	digest string
+	cache  *resultCache
+	mux    *http.ServeMux
+
+	mu sync.RWMutex
+	st *state
+
+	epoch atomic.Uint64 // mirror of st.epoch for the lock-free /healthz
+	done  chan struct{} // closed once the final (frozen) state is published
+}
+
+// NewFrozen serves a completed run: the store is frozen, the epoch is
+// fixed at 1, and every read is lock-free in practice (the write lock has
+// no writer). This is cmd/serve's default mode.
+func NewFrozen(res *sim.Result, opt Options) *Server {
+	s := newServer(res.Config.Digest(), opt)
+	s.st = &state{res: res, epoch: 1, final: true}
+	s.epoch.Store(1)
+	close(s.done)
+	return s
+}
+
+// NewLive starts the scenario in the background and serves the live store
+// between ingest bursts: every `every` of virtual time the run checkpoints,
+// bumps the epoch, and opens a read window (queued requests drain against
+// the quiescent mid-run store, then ingestion resumes); the run's end
+// publishes the final frozen state and leaves the window open for good.
+// Requests arriving before the first checkpoint block until it opens.
+// The returned server is usable immediately; Done reports run completion.
+func NewLive(cfg sim.Config, every simtime.VTime, opt Options) *Server {
+	s := newServer(cfg.Digest(), opt)
+	grid := sim.GridFor(cfg)
+	warmup := simtime.VTime(cfg.WarmupDays) * simtime.Day
+	s.mu.Lock() // hold the write half until the first checkpoint
+	go func() {
+		res := sim.RunWithObserver(cfg, every, func(now simtime.VTime, store *metastore.Store) {
+			s.publish(&sim.Result{
+				Config:     cfg,
+				Grid:       grid,
+				Store:      store,
+				WindowFrom: warmup,
+				WindowTo:   now,
+			}, false)
+		})
+		s.publish(res, true)
+		close(s.done)
+	}()
+	return s
+}
+
+func newServer(digest string, opt Options) *Server {
+	opt.fill()
+	s := &Server{
+		opt:    opt,
+		digest: digest,
+		cache:  newResultCache(opt.CacheEntries),
+		done:   make(chan struct{}),
+	}
+	s.routes()
+	return s
+}
+
+// publish swaps in a new state and opens a read window. It runs on the
+// scenario goroutine with the write lock held; for a non-final state it
+// re-acquires the lock before returning control to the event engine, so
+// ingestion never overlaps a read. Pending readers are woken by the
+// Unlock and drain before the Lock re-acquires.
+//
+// The store is frozen before the window opens — an incremental freeze
+// that seals and merges only the records ingested since the last
+// checkpoint. Freezing here, on the ingest thread, is what makes the
+// window read-only in the strong sense: handlers that reach a
+// freeze-on-entry path (the parallel matcher) hit the idempotent fast
+// path instead of reorganizing the store under concurrent readers.
+func (s *Server) publish(res *sim.Result, final bool) {
+	res.Store.Freeze()
+	epoch := s.epoch.Add(1)
+	s.st = &state{res: res, epoch: epoch, final: final}
+	s.cache.prune(epoch)
+	s.mu.Unlock()
+	if !final {
+		s.mu.Lock()
+	}
+}
+
+// Done is closed once the backing run has completed and the final frozen
+// state is being served (immediately for NewFrozen).
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Epoch reports the current store epoch without taking any lock: 0 before
+// a live server's first checkpoint, monotonically increasing after.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// Digest reports the semantic config digest every cached body is keyed
+// under.
+func (s *Server) Digest() string { return s.digest }
+
+// CacheStats reports the result cache's counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.snapshot() }
+
+// Handler returns the server's HTTP handler (also reachable through
+// ServeHTTP — Server is itself an http.Handler).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// snapshot acquires a read window and returns the current state. The
+// caller must call release (RUnlock) when done with every store-derived
+// value — record pointers must not be used past the window.
+func (s *Server) snapshot() *state {
+	s.mu.RLock()
+	return s.st
+}
+
+func (s *Server) release() { s.mu.RUnlock() }

@@ -1,6 +1,10 @@
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
 	"panrucio/internal/corruption"
 	"panrucio/internal/metastore"
 	"panrucio/internal/netsim"
@@ -71,6 +75,23 @@ func (c *Config) fill() {
 	}
 }
 
+// Digest returns a short hex digest of the scenario's semantic content —
+// the cache key the serving layer uses for result bodies. The two
+// performance-only knobs (Shards, SegmentRows) are zeroed before hashing:
+// query results are byte-identical for any value of either (the
+// equivalence suites pin this), so two configs differing only there must
+// share cached results. Defaults are filled first, so Seed 0 and Seed 1
+// digest identically, as they run identically. Every Config field is
+// plain value data, which keeps the %+v rendering — and therefore the
+// digest — deterministic across processes.
+func (c Config) Digest() string {
+	c.fill()
+	c.Shards = 0
+	c.SegmentRows = 0
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", c)))
+	return hex.EncodeToString(sum[:8])
+}
+
 // Result bundles everything an analysis needs after a run.
 type Result struct {
 	Config Config
@@ -102,8 +123,11 @@ func Run(cfg Config) *Result {
 // Observer is a mid-run checkpoint callback: it receives the virtual time
 // of the checkpoint and the live, un-frozen store, which answers every
 // query over exactly the records ingested so far (sealed segments + tail).
-// Observers must treat the store as read-only and must not retain record
-// pointers past the run (the store is reset on reuse).
+// Observers must not ingest records or retain record pointers past the run
+// (the store is reset on reuse). Calling Seal or Freeze from the callback
+// is allowed — both are content-preserving reorganizations, and the
+// serving layer freezes at every checkpoint so its read windows serve a
+// store with no mutation paths reachable from queries.
 type Observer func(now simtime.VTime, store *metastore.Store)
 
 // RunWithObserver is Run with a periodic mid-run checkpoint: every `every`
@@ -126,15 +150,11 @@ func RunReusing(cfg Config, store *metastore.Store) *Result {
 	return runReusing(cfg, store, 0, nil)
 }
 
-func runReusing(cfg Config, store *metastore.Store, every simtime.VTime, obs Observer) *Result {
-	store.Reset()
-	cfg.fill()
-	if cfg.Scale > 0 && cfg.Scale != 1 {
-		cfg.Workload = cfg.Workload.Scaled(cfg.Scale)
-		cfg.Background = cfg.Background.Scaled(cfg.Scale)
-	}
-	horizon := simtime.VTime(cfg.WarmupDays+cfg.Days) * simtime.Day
-	eng := simtime.NewEngine(0, horizon)
+// GridFor builds the topology grid the scenario runs on — the same
+// deterministic construction runReusing performs, including the CPUScale
+// adjustment. The serving layer uses it to give mid-run observers a grid
+// for analyses without extending the Observer signature.
+func GridFor(cfg Config) *topology.Grid {
 	grid := topology.Default(cfg.Grid)
 	if cfg.CPUScale > 0 && cfg.CPUScale != 1 {
 		for _, s := range grid.Sites() {
@@ -144,6 +164,19 @@ func runReusing(cfg Config, store *metastore.Store, every simtime.VTime, obs Obs
 			}
 		}
 	}
+	return grid
+}
+
+func runReusing(cfg Config, store *metastore.Store, every simtime.VTime, obs Observer) *Result {
+	store.Reset()
+	cfg.fill()
+	if cfg.Scale > 0 && cfg.Scale != 1 {
+		cfg.Workload = cfg.Workload.Scaled(cfg.Scale)
+		cfg.Background = cfg.Background.Scaled(cfg.Scale)
+	}
+	horizon := simtime.VTime(cfg.WarmupDays+cfg.Days) * simtime.Day
+	eng := simtime.NewEngine(0, horizon)
+	grid := GridFor(cfg)
 	root := simtime.NewRNG(cfg.Seed)
 
 	corr := corruption.New(root.Split("corruption"), cfg.Corruption)

@@ -1,0 +1,33 @@
+#!/bin/sh
+# End-to-end smoke of the serving layer: start cmd/serve on the quick
+# scenario, replay a short mixed read workload with cmd/loadgen at zero
+# error tolerance, and assert the metrics JSON is well-formed. CI runs
+# this in the test job; DESIGN.md ("Serving layer") states the contract.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18321"
+OUT="$(mktemp)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$OUT"' EXIT
+
+go build -o /tmp/panrucio-serve ./cmd/serve
+go build -o /tmp/panrucio-loadgen ./cmd/loadgen
+
+/tmp/panrucio-serve -quick -addr "$ADDR" &
+SERVE_PID=$!
+
+/tmp/panrucio-loadgen -url "http://$ADDR" -seconds 2 -workers 4 \
+    -wait 30 -max-error-rate 0 -format json > "$OUT"
+
+cat "$OUT"
+for key in requests qps p50_us p95_us p99_us error_pct; do
+    if ! grep -q "\"$key\"" "$OUT"; then
+        echo "serve smoke: metrics JSON missing \"$key\"" >&2
+        exit 1
+    fi
+done
+if grep -q '"requests":0,' "$OUT"; then
+    echo "serve smoke: no requests completed" >&2
+    exit 1
+fi
+echo "serve smoke: OK"
