@@ -5,7 +5,7 @@
 //
 //	loadgen [-url http://host:port] [-seconds X] [-workers N] [-ramp X]
 //	        [-seed N] [-mix meta=2,experiments=6,job=4,...] [-ids N]
-//	        [-wait X] [-max-error-rate X] [-format text|json]
+//	        [-wait X] [-max-error-rate X] [-format text|json] [-scrape]
 //
 // The request schedule is deterministic for a given -seed, -workers, and
 // -mix: each worker draws its endpoint sequence and id choices from its
@@ -21,6 +21,10 @@
 // recorded alongside the bench/BENCH_*.txt artifacts; -format json emits
 // one machine-readable object. The exit status is 1 when error_pct
 // exceeds -max-error-rate (the CI smoke gate runs with 0).
+//
+// -scrape fetches the server's GET /metrics after the run and folds the
+// server-side result-cache hit ratio into the report, pairing the
+// client-observed latencies with what the server saw.
 package main
 
 import (
@@ -49,6 +53,7 @@ type options struct {
 	wait         float64
 	maxErrorRate float64
 	format       string
+	scrape       bool
 }
 
 // endpointNames is the closed set of -mix keys, each one request shape
@@ -72,6 +77,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.Float64Var(&o.wait, "wait", 10, "seconds to wait for the server to become ready")
 	fs.Float64Var(&o.maxErrorRate, "max-error-rate", 100, "fail (exit 1) if error_pct exceeds this")
 	fs.StringVar(&o.format, "format", "text", "report format: text or json")
+	fs.BoolVar(&o.scrape, "scrape", false, "fetch /metrics after the run and report the server-side cache hit ratio")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -179,6 +185,14 @@ type metrics struct {
 	P99us    float64 `json:"p99_us"`
 	Maxus    float64 `json:"max_us"`
 	Workers  int     `json:"workers"`
+
+	// Server-side counters folded in by -scrape (absent otherwise). The
+	// hits/misses are deltas over this run: the /metrics counters are
+	// process-lifetime totals, so a pre-run scrape anchors the baseline.
+	Scraped           bool    `json:"scraped,omitempty"`
+	ServerCacheHits   int64   `json:"server_cache_hits,omitempty"`
+	ServerCacheMisses int64   `json:"server_cache_misses,omitempty"`
+	ServerCacheHitPct float64 `json:"server_cache_hit_pct,omitempty"`
 }
 
 // percentile is the nearest-rank percentile of a sorted latency slice.
@@ -284,6 +298,58 @@ func buildSchedule(client *http.Client, o *options) (*schedule, error) {
 	return sc, nil
 }
 
+// scrapeCounters fetches /metrics and extracts the values of the named
+// unlabeled counters from the Prometheus text body.
+func scrapeCounters(client *http.Client, base string, names ...string) (map[string]int64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return parseCounters(string(body), names...)
+}
+
+// parseCounters pulls `name value` sample lines out of a Prometheus text
+// body. Only the requested unlabeled samples are returned; a requested
+// name that is absent is an error (the server should always export its
+// cache counters).
+func parseCounters(body string, names ...string) (map[string]int64, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	out := make(map[string]int64, len(names))
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || !want[name] {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sample line %q: %v", line, err)
+		}
+		out[name] = int64(f)
+	}
+	for _, n := range names {
+		if _, ok := out[n]; !ok {
+			return nil, fmt.Errorf("/metrics has no sample for %s", n)
+		}
+	}
+	return out, nil
+}
+
+var cacheCounterNames = []string{"serve_cache_hits_total", "serve_cache_misses_total"}
+
 // run executes the load and aggregates the metrics.
 func run(o *options) (*metrics, error) {
 	client := &http.Client{Timeout: 60 * time.Second}
@@ -293,6 +359,15 @@ func run(o *options) (*metrics, error) {
 	sc, err := buildSchedule(client, o)
 	if err != nil {
 		return nil, err
+	}
+
+	// Anchor the server-side counters before any load: /metrics exports
+	// process-lifetime totals, and the report wants this run's deltas.
+	var before map[string]int64
+	if o.scrape {
+		if before, err = scrapeCounters(client, o.url, cacheCounterNames...); err != nil {
+			return nil, err
+		}
 	}
 
 	type result struct {
@@ -350,6 +425,18 @@ func run(o *options) (*metrics, error) {
 	if n := len(all); n > 0 {
 		m.Maxus = float64(all[n-1].Microseconds())
 	}
+	if o.scrape {
+		after, err := scrapeCounters(client, o.url, cacheCounterNames...)
+		if err != nil {
+			return nil, err
+		}
+		m.Scraped = true
+		m.ServerCacheHits = after["serve_cache_hits_total"] - before["serve_cache_hits_total"]
+		m.ServerCacheMisses = after["serve_cache_misses_total"] - before["serve_cache_misses_total"]
+		if total := m.ServerCacheHits + m.ServerCacheMisses; total > 0 {
+			m.ServerCacheHitPct = 100 * float64(m.ServerCacheHits) / float64(total)
+		}
+	}
 	return m, nil
 }
 
@@ -367,6 +454,10 @@ func render(w io.Writer, o *options, m *metrics) error {
 		m.Requests, m.Seconds, m.Workers, m.Errors, m.ErrorPct)
 	fmt.Fprintf(w, "loadgen: qps %.1f  p50 %.0fus  p95 %.0fus  p99 %.0fus  max %.0fus\n",
 		m.QPS, m.P50us, m.P95us, m.P99us, m.Maxus)
+	if m.Scraped {
+		fmt.Fprintf(w, "loadgen: server cache %d hits / %d misses (%.1f%% hit)\n",
+			m.ServerCacheHits, m.ServerCacheMisses, m.ServerCacheHitPct)
+	}
 	// A benchmark-formatted line so a run can be pasted next to the
 	// bench/BENCH_*.txt artifacts.
 	nsop := 0.0

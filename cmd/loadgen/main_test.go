@@ -95,9 +95,38 @@ func TestScheduleDeterministic(t *testing.T) {
 	}
 }
 
+// TestParseCounters pins the /metrics parser: comments and labeled
+// samples are skipped, float-formatted values round to integers, and a
+// missing requested counter is an error.
+func TestParseCounters(t *testing.T) {
+	body := strings.Join([]string{
+		"# HELP serve_cache_hits_total result-cache hits",
+		"# TYPE serve_cache_hits_total counter",
+		"serve_cache_hits_total 42",
+		"serve_cache_misses_total 1e+06",
+		`serve_request_seconds_bucket{endpoint="job",le="+Inf"} 9`,
+		"other_metric 7",
+		"",
+	}, "\n")
+	got, err := parseCounters(body, "serve_cache_hits_total", "serve_cache_misses_total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["serve_cache_hits_total"] != 42 || got["serve_cache_misses_total"] != 1_000_000 {
+		t.Fatalf("parsed = %v", got)
+	}
+	if _, err := parseCounters(body, "serve_cache_hits_total", "absent_total"); err == nil {
+		t.Error("missing counter accepted, want error")
+	}
+	if _, err := parseCounters("serve_cache_hits_total notanumber",
+		"serve_cache_hits_total"); err == nil {
+		t.Error("malformed value accepted, want error")
+	}
+}
+
 // TestRunAgainstServe is the end-to-end smoke: a short burst against an
 // in-process frozen server must complete with zero errors and well-formed
-// metrics in both formats.
+// metrics in both formats. -scrape folds the server-side cache ratio in.
 func TestRunAgainstServe(t *testing.T) {
 	ts := httptest.NewServer(serve.NewFrozen(sim.Run(sim.QuickConfig(11)), serve.Options{}))
 	defer ts.Close()
@@ -105,7 +134,7 @@ func TestRunAgainstServe(t *testing.T) {
 	o, err := parseFlags([]string{
 		"-url", ts.URL, "-seconds", "0.3", "-workers", "4",
 		"-mix", "meta=2,experiments=4,job=3,match=3,task=1,pandaids=1",
-		"-ids", "16", "-format", "json",
+		"-ids", "16", "-format", "json", "-scrape",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -119,6 +148,12 @@ func TestRunAgainstServe(t *testing.T) {
 	}
 	if m.Requests == 0 || m.QPS <= 0 || m.P50us <= 0 || m.P99us < m.P50us {
 		t.Fatalf("degenerate metrics: %+v", m)
+	}
+	if !m.Scraped {
+		t.Fatal("-scrape did not mark the report")
+	}
+	if m.ServerCacheHits+m.ServerCacheMisses == 0 {
+		t.Error("-scrape saw no cache traffic despite the load")
 	}
 
 	var buf bytes.Buffer

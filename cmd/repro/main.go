@@ -8,7 +8,7 @@
 // Usage:
 //
 //	repro [-seed N] [-days N] [-workers N] [-scale F] [-shards N]
-//	      [-segment-rows N]
+//	      [-segment-rows N] [-trace FILE] [-trace-every HOURS]
 //
 // -scale multiplies the scenario's event volume: the default scenario is
 // calibrated to roughly 1/20 of the paper's production week, so -scale 20
@@ -17,6 +17,11 @@
 // scale-free. -shards sets the metastore shard count and -segment-rows
 // the per-shard segment-seal threshold (0 = default); neither ever
 // changes output.
+//
+// -trace writes a JSONL run trace: one "checkpoint" event per
+// -trace-every virtual hours with ingest progress and throughput, plus a
+// final "run" span. Tracing observes the run through the same checkpoint
+// seam the live server uses and never changes any output.
 package main
 
 import (
@@ -27,7 +32,9 @@ import (
 	"time"
 
 	"panrucio/internal/experiments"
+	"panrucio/internal/obs"
 	"panrucio/internal/sim"
+	"panrucio/internal/simtime"
 )
 
 type options struct {
@@ -37,6 +44,8 @@ type options struct {
 	scale       float64
 	shards      int
 	segmentRows int
+	trace       string
+	traceEvery  float64
 }
 
 // parseFlags parses the command line into options; kept separate from main
@@ -50,6 +59,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.Float64Var(&o.scale, "scale", 1, "event-volume multiplier (20 = paper scale, 200 = 10x)")
 	fs.IntVar(&o.shards, "shards", 0, "metastore shard count (0 = default)")
 	fs.IntVar(&o.segmentRows, "segment-rows", 0, "metastore per-shard segment-seal threshold (0 = default)")
+	fs.StringVar(&o.trace, "trace", "", "write a JSONL run trace to this file")
+	fs.Float64Var(&o.traceEvery, "trace-every", 6, "virtual hours between trace checkpoints (with -trace)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -68,7 +79,34 @@ func parseFlags(args []string) (*options, error) {
 	if o.segmentRows < 0 {
 		return nil, fmt.Errorf("-segment-rows must be non-negative, got %d", o.segmentRows)
 	}
+	if o.traceEvery <= 0 {
+		return nil, fmt.Errorf("-trace-every must be > 0, got %g", o.traceEvery)
+	}
 	return o, nil
+}
+
+// runSuite executes the simulation + matching, traced or not. The traced
+// path runs the identical engine through the observer seam, so the suite —
+// and all rendered output — is byte-identical with and without -trace.
+func runSuite(o *options) (*experiments.Suite, error) {
+	cfg := o.config()
+	if o.trace == "" {
+		return experiments.RunWorkers(cfg, o.workers), nil
+	}
+	f, err := os.Create(o.trace)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr := obs.NewTrace(f)
+	every := simtime.VTime(o.traceEvery * float64(simtime.Hour))
+	t0 := time.Now()
+	res := sim.RunWithObserver(cfg, every, sim.TraceObserver(tr, "checkpoint"))
+	tr.Span("run", int64(res.WindowTo), time.Since(t0), map[string]any{
+		"seed": o.seed, "days": o.days, "scale": o.scale,
+		"stored_events": res.Store.TransferCount(),
+	})
+	return experiments.Build(res, o.workers), nil
 }
 
 // config builds the scenario the options select.
@@ -94,7 +132,11 @@ func main() {
 		fmt.Printf("panrucio repro: %d-day window, seed %d\n", o.days, o.seed)
 	}
 	start := time.Now()
-	s := experiments.RunWorkers(o.config(), o.workers)
+	s, err := runSuite(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("simulation + matching (%d worker(s)) completed in %v\n\n",
 		s.Workers, time.Since(start).Round(time.Millisecond))
 

@@ -6,12 +6,15 @@
 //
 //	serve [-addr host:port] [-seed N] [-days N] [-quick] [-scale X]
 //	      [-shards N] [-segment-rows N] [-match-workers N] [-cache N]
-//	      [-live] [-every HOURS] [-sweep-cap N]
+//	      [-live] [-every HOURS] [-sweep-cap N] [-pprof]
 //
 // By default the scenario runs to completion first and the server answers
 // over the frozen store. With -live the scenario ingests in the background
 // and the server opens a read window at every -every hours of virtual
 // time, answering queries over the records ingested so far.
+//
+// GET /metrics exposes the process metrics in Prometheus text format;
+// -pprof additionally mounts net/http/pprof under /debug/pprof/.
 //
 // The bound address is printed to stderr (use -addr :0 for an ephemeral
 // port). SIGINT/SIGTERM shut the listener down gracefully, draining
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +52,7 @@ type options struct {
 	live         bool
 	everyHours   float64
 	sweepCap     int
+	pprof        bool
 }
 
 // parseFlags parses the command line into options, validating ranges up
@@ -67,6 +72,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.BoolVar(&o.live, "live", false, "serve while the scenario ingests (read windows at every -every hours)")
 	fs.Float64Var(&o.everyHours, "every", 6, "virtual hours between live read windows (with -live)")
 	fs.IntVar(&o.sweepCap, "sweep-cap", 0, "max scenarios one /api/sweep launch may run (0 = default 16)")
+	fs.BoolVar(&o.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -94,8 +100,10 @@ func parseFlags(args []string) (*options, error) {
 	if o.sweepCap < 0 {
 		return nil, fmt.Errorf("-sweep-cap must be >= 0, got %d", o.sweepCap)
 	}
-	if o.live && o.everyHours <= 0 {
-		return nil, fmt.Errorf("-every must be > 0 with -live, got %g", o.everyHours)
+	// -every is validated unconditionally (not just with -live): a bad
+	// value should fail up front, not lie dormant until -live is added.
+	if o.everyHours <= 0 {
+		return nil, fmt.Errorf("-every must be > 0, got %g", o.everyHours)
 	}
 	return o, nil
 }
@@ -130,6 +138,24 @@ func build(o *options) *serve.Server {
 	return serve.NewFrozen(sim.Run(cfg), opt)
 }
 
+// handler wraps the server with the optional pprof routes. The profiling
+// endpoints live on the outer mux, so they answer even while the serving
+// store is mid-ingest with no open read window — exactly when a profile is
+// most wanted.
+func handler(o *options, s *serve.Server) http.Handler {
+	if !o.pprof {
+		return s
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", s)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func main() {
 	o, err := parseFlags(os.Args[1:])
 	if err != nil {
@@ -151,7 +177,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Handler: s}
+	srv := &http.Server{Handler: handler(o, s)}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -32,6 +33,8 @@ func TestParseFlagsRejectsBadValues(t *testing.T) {
 		{"-sweep-cap", "-1"},
 		{"-live", "-every", "0"},
 		{"-live", "-every", "-2"},
+		{"-every", "0"},  // rejected even without -live
+		{"-every", "-2"}, // rejected even without -live
 		{"-nosuch"},
 	}
 	for _, args := range cases {
@@ -45,9 +48,13 @@ func TestParseFlagsAccepts(t *testing.T) {
 	o, err := parseFlags([]string{
 		"-addr", ":0", "-quick", "-seed", "7", "-shards", "8",
 		"-segment-rows", "64", "-live", "-every", "12", "-cache", "32",
+		"-pprof",
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !o.pprof {
+		t.Fatal("pprof flag not set")
 	}
 	cfg := config(o)
 	if cfg.Seed != 7 || cfg.Days != 2 || cfg.Shards != 8 || cfg.SegmentRows != 64 {
@@ -56,13 +63,13 @@ func TestParseFlagsAccepts(t *testing.T) {
 }
 
 // TestBuildQuickFrozenServes is the command-level smoke: the built server
-// answers over a real listener.
+// answers over a real listener, including the metrics and pprof routes.
 func TestBuildQuickFrozenServes(t *testing.T) {
-	o, err := parseFlags([]string{"-quick", "-shards", "2"})
+	o, err := parseFlags([]string{"-quick", "-shards", "2", "-pprof"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(build(o))
+	ts := httptest.NewServer(handler(o, build(o)))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -80,5 +87,55 @@ func TestBuildQuickFrozenServes(t *testing.T) {
 	if resp2.StatusCode != http.StatusOK ||
 		!strings.Contains(resp2.Header.Get("Content-Type"), "application/json") {
 		t.Fatalf("meta = %d %s", resp2.StatusCode, resp2.Header.Get("Content-Type"))
+	}
+
+	resp3, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp3.StatusCode != http.StatusOK ||
+		!strings.Contains(resp3.Header.Get("Content-Type"), "version=0.0.4") {
+		t.Fatalf("metrics = %d %s", resp3.StatusCode, resp3.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		"# TYPE serve_request_seconds histogram",
+		"serve_cache_hits_total",
+		"serve_requests_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp4, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline = %d", resp4.StatusCode)
+	}
+}
+
+// TestHandlerWithoutPprof checks the default: no profiling routes.
+func TestHandlerWithoutPprof(t *testing.T) {
+	o, err := parseFlags([]string{"-quick", "-shards", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler(o, build(o)))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without -pprof = %d, want 404", resp.StatusCode)
 	}
 }

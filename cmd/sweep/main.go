@@ -8,11 +8,15 @@
 //
 //	sweep [-grid robustness|seeds|mix] [-seed N] [-scenarios N]
 //	      [-workers N] [-match-workers N] [-shards N] [-segment-rows N]
-//	      [-format markdown|json]
+//	      [-format markdown|json] [-trace FILE] [-trace-every HOURS]
 //
 // The canned grids are quick-scale (2-day scenarios): "robustness" is the
 // E14 corruption ramp, "seeds" an 8-way seed fan-out, "mix" the workload
 // mix crossed with background-traffic intensity.
+//
+// -trace writes a JSONL run trace: per-scenario checkpoint events (named
+// by scenario id, so concurrent workers' records stay attributable) and
+// one span per scenario. Tracing never changes the report.
 package main
 
 import (
@@ -21,7 +25,9 @@ import (
 	"os"
 	"time"
 
+	"panrucio/internal/obs"
 	"panrucio/internal/sim"
+	"panrucio/internal/simtime"
 	"panrucio/internal/sweep"
 )
 
@@ -34,6 +40,8 @@ type options struct {
 	shards       int
 	segmentRows  int
 	format       string
+	trace        string
+	traceEvery   float64
 }
 
 // parseFlags parses the command line into options, validating the grid and
@@ -49,6 +57,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.shards, "shards", 0, "metastore shards per worker store (0 = default)")
 	fs.IntVar(&o.segmentRows, "segment-rows", 0, "metastore per-shard segment-seal threshold (0 = default)")
 	fs.StringVar(&o.format, "format", "markdown", "report format: markdown or json")
+	fs.StringVar(&o.trace, "trace", "", "write a JSONL run trace to this file")
+	fs.Float64Var(&o.traceEvery, "trace-every", 6, "virtual hours between trace checkpoints (with -trace)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -77,6 +87,9 @@ func parseFlags(args []string) (*options, error) {
 	if o.segmentRows < 0 {
 		return nil, fmt.Errorf("-segment-rows must be >= 0, got %d", o.segmentRows)
 	}
+	if o.traceEvery <= 0 {
+		return nil, fmt.Errorf("-trace-every must be > 0, got %g", o.traceEvery)
+	}
 	return o, nil
 }
 
@@ -100,18 +113,29 @@ func buildGrid(o *options) []sweep.Scenario {
 }
 
 // run executes the sweep and renders the report — the deterministic part
-// of the command, shared with the byte-identical-output test.
-func run(o *options) string {
-	rep := sweep.Run(buildGrid(o), sweep.Options{
+// of the command, shared with the byte-identical-output test. The trace
+// (if any) goes to a side file, so stdout stays deterministic.
+func run(o *options) (string, error) {
+	opt := sweep.Options{
 		Workers:      o.workers,
 		MatchWorkers: o.matchWorkers,
 		Shards:       o.shards,
 		SegmentRows:  o.segmentRows,
-	})
-	if o.format == "json" {
-		return rep.JSON()
 	}
-	return rep.Markdown()
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
+		if err != nil {
+			return "", err
+		}
+		defer f.Close()
+		opt.Trace = obs.NewTrace(f)
+		opt.TraceEvery = simtime.VTime(o.traceEvery * float64(simtime.Hour))
+	}
+	rep := sweep.Run(buildGrid(o), opt)
+	if o.format == "json" {
+		return rep.JSON(), nil
+	}
+	return rep.Markdown(), nil
 }
 
 func main() {
@@ -122,7 +146,11 @@ func main() {
 	}
 	n := len(buildGrid(o))
 	start := time.Now()
-	out := run(o)
+	out, err := run(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
 	elapsed := time.Since(start)
 	fmt.Print(out)
 	fmt.Fprintf(os.Stderr, "sweep: %d scenario(s) in %v (%.2f scenarios/sec)\n",

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -25,6 +28,8 @@ func TestParseFlagsRejectsBadValues(t *testing.T) {
 		{"-match-workers", "-4"},
 		{"-shards", "-1"},
 		{"-segment-rows", "-1"},
+		{"-trace-every", "0"},
+		{"-trace-every", "-1"},
 		{"-bogus"},
 	} {
 		if _, err := parseFlags(args); err == nil {
@@ -63,7 +68,10 @@ func TestOutputByteIdenticalAcrossWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a := run(serial)
+		a, err := run(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, extra := range [][]string{
 			{"-workers", "8", "-match-workers", "4", "-shards", "2"},
 			{"-workers", "8", "-shards", "8", "-segment-rows", "512"},
@@ -73,12 +81,64 @@ func TestOutputByteIdenticalAcrossWorkers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if b := run(parallel); a != b {
+			b, err := run(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
 				t.Errorf("%s output diverged between -workers 1 and %v", format, extra)
 			}
 		}
 		if format == "markdown" && !strings.Contains(a, "Scenario sweep — 2 scenario(s)") {
 			t.Errorf("markdown header missing:\n%s", a)
 		}
+	}
+}
+
+// TestTraceSideFileDoesNotChangeReport runs a tiny traced sweep with
+// concurrent workers: the report matches the untraced run and the trace
+// file holds well-formed JSONL with per-scenario records.
+func TestTraceSideFileDoesNotChangeReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	args := []string{"-scenarios", "2", "-format", "json"}
+	plain, err := parseFlags(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := parseFlags(append(args, "-workers", "2", "-trace", path, "-trace-every", "12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("tracing changed the report")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec struct {
+			Type string `json:"type"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if rec.Type == "span" {
+			names[rec.Name]++
+		}
+	}
+	if len(names) != 2 {
+		t.Errorf("want one span per scenario (2), got %v", names)
 	}
 }

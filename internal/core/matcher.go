@@ -179,6 +179,7 @@ func NewMatcher(store *metastore.Store) *Matcher { return &Matcher{store: store}
 // matched by more than one file row is kept once, preserving Exact's
 // whole-set size-sum semantics.
 func (m *Matcher) MatchJob(j *records.JobRecord, method Method) []*records.TransferEvent {
+	mMatchProbes.Inc()
 	entries := m.store.JoinEntriesForJob(j.PandaID, j.JediTaskID) // F'_j with buckets bound
 	if len(entries) == 0 {
 		return nil

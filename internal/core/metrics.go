@@ -1,0 +1,19 @@
+package core
+
+import "panrucio/internal/obs"
+
+// Process-wide matcher metrics. The probe counter sits on the per-job hot
+// path (one atomic add per MatchJob; cost pinned by bench/BENCH_obs.json);
+// pass and worker timings are recorded once per matching pass and once per
+// worker goroutine respectively, so a scrape shows both how many passes
+// ran and how evenly the shard-affine job assignment balanced them.
+var (
+	mMatchProbes = obs.Default().Counter("core_match_probes_total",
+		"MatchJob probes (jobs evaluated, across all methods and matchers)")
+	mMatchPasses = obs.Default().Counter("core_match_passes_total",
+		"full matching passes (one Run/RunParallel call)")
+	mMatchPassSeconds = obs.Default().Histogram("core_match_pass_seconds",
+		"wall time of one full matching pass", obs.DefBuckets)
+	mMatchWorkerSeconds = obs.Default().Histogram("core_match_worker_seconds",
+		"wall time of one worker's share of a matching pass", obs.DefBuckets)
+)

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"panrucio/internal/records"
 )
@@ -36,14 +37,21 @@ func (m *Matcher) run(jobs []*records.JobRecord, method Method, workers int) *Re
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	passStart := time.Now()
+	defer func() {
+		mMatchPasses.Inc()
+		mMatchPassSeconds.ObserveSince(passStart)
+	}()
 	agg := newAggregator(m, method)
 
 	if workers <= 1 {
+		t0 := time.Now()
 		for i, j := range jobs {
 			if evs := m.MatchJob(j, method); len(evs) > 0 {
 				agg.add(i, Match{Job: j, Transfers: evs})
 			}
 		}
+		mMatchWorkerSeconds.ObserveSince(t0)
 		return agg.finish(len(jobs))
 	}
 
@@ -54,11 +62,13 @@ func (m *Matcher) run(jobs []*records.JobRecord, method Method, workers int) *Re
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			t0 := time.Now()
 			for _, i := range assign[w] {
 				if evs := m.MatchJob(jobs[i], method); len(evs) > 0 {
 					matches <- indexedMatch{i, Match{Job: jobs[i], Transfers: evs}}
 				}
 			}
+			mMatchWorkerSeconds.ObserveSince(t0)
 		}(w)
 	}
 	go func() {

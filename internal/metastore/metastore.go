@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"panrucio/internal/records"
 	"panrucio/internal/simtime"
@@ -67,6 +68,16 @@ type Store struct {
 	// Cached counters, maintained on PutTransfer.
 	withTaskID     int
 	taskByActivity map[records.Activity]int
+
+	// Pending obs-counter deltas, batched on the single-writer ingest path
+	// (a plain increment per put) and flushed to the process-wide metrics
+	// at Freeze/Reset. Batching keeps the put hot loops free of atomic
+	// read-modify-writes; scrapes between flushes read checkpoint-stale
+	// counters, which is the granularity the serving layer publishes at
+	// anyway.
+	pendJobs      int64
+	pendFiles     int64
+	pendTransfers int64
 
 	// Merged sorted time indices, built by Freeze from the per-shard runs.
 	// jobsByEnd is ordered by EndTime, evByStart by StartedAt (ties keep
@@ -171,6 +182,7 @@ func (s *Store) PutJob(j *records.JobRecord) {
 	cp.ComputingSite = s.strings.canon(cp.ComputingSite)
 	p := s.shards[s.ShardFor(cp.JediTaskID)].putJob(cp, s.nextSeq())
 	s.jobsByID[cp.PandaID] = p
+	s.pendJobs++
 	s.frozen.Store(false)
 }
 
@@ -191,6 +203,7 @@ func (s *Store) PutFile(f *records.FileRecord) {
 	cp.Dataset = s.strings.strs[key.dataset]
 	cp.ProdDBlock = s.strings.strs[key.prodDBlock]
 	s.shards[s.ShardFor(cp.JediTaskID)].putFile(cp, key)
+	s.pendFiles++
 	s.frozen.Store(false)
 }
 
@@ -227,6 +240,7 @@ func (s *Store) PutTransfer(ev *records.TransferEvent) {
 		sh = s.shards[int(seq)%len(s.shards)]
 	}
 	sh.putTransfer(cp, key, seq)
+	s.pendTransfers++
 	s.lfnBuilt = false
 	s.frozen.Store(false)
 }
@@ -252,6 +266,8 @@ func (s *Store) Freeze() {
 	if s.frozen.Load() {
 		return
 	}
+	s.flushIngestMetrics()
+	t0 := time.Now()
 	var wg sync.WaitGroup
 	for _, sh := range s.shards {
 		wg.Add(1)
@@ -277,6 +293,31 @@ func (s *Store) Freeze() {
 	s.jobsByEnd, _ = mergeRuns(jobRuns, jobSeqs, jobEnd, false)
 	s.evByStart, _ = mergeRuns(evRuns, evSeqs, evStart, false)
 	s.frozen.Store(true)
+	mFreezes.Inc()
+	mFreezeSeconds.ObserveSince(t0)
+}
+
+// TailRows reports the rows currently sitting in mutable (unsealed) tails
+// across all shards and both arenas. Zero on a frozen store.
+func (s *Store) TailRows() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.jobs.len() - sh.jobSegs.start + sh.events.len() - sh.evSegs.start
+	}
+	return n
+}
+
+// flushIngestMetrics publishes the batched put counters and the tail-size
+// gauge to the process-wide registry. Runs on the ingest/freeze path with
+// freezeMu held (or from Reset), so the pending fields are stable. The
+// gauge is captured before the freeze seals the tails: it reports how many
+// rows had accumulated unsorted since the previous checkpoint.
+func (s *Store) flushIngestMetrics() {
+	mJobsIngested.Add(s.pendJobs)
+	mFilesIngested.Add(s.pendFiles)
+	mTransfersIngested.Add(s.pendTransfers)
+	s.pendJobs, s.pendFiles, s.pendTransfers = 0, 0, 0
+	mTailRows.Set(int64(s.TailRows()))
 }
 
 // Seal closes every shard's mutable tail into an immutable sorted segment
@@ -305,6 +346,8 @@ func (s *Store) Seal() {
 func (s *Store) Reset() {
 	s.freezeMu.Lock()
 	defer s.freezeMu.Unlock()
+	s.flushIngestMetrics()
+	mTailRows.Set(0) // the tails are about to be dropped
 	var wg sync.WaitGroup
 	for _, sh := range s.shards {
 		wg.Add(1)

@@ -1,0 +1,30 @@
+package metastore_test
+
+import (
+	"testing"
+
+	"panrucio/internal/metastore"
+	"panrucio/internal/obs"
+)
+
+// benchIngestObs is the observability overhead probe: the identical ingest
+// + freeze workload with the metrics gate on or off. The two variants'
+// events/sec delta is the whole cost of the instrumentation (counter and
+// histogram updates on every Put, seal, and merge); the PR's acceptance
+// bound is <= 5%, recorded in bench/BENCH_obs.json.
+func benchIngestObs(b *testing.B, enabled bool) {
+	obs.SetEnabled(enabled)
+	defer obs.SetEnabled(true)
+	b.ReportAllocs()
+	var events float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := metastore.NewShardedSegmented(0, 2048)
+		events += float64(ingestWorkload(s, 100, 10, 8))
+	}
+	b.StopTimer()
+	b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
+}
+
+func BenchmarkIngestObsOn(b *testing.B)  { benchIngestObs(b, true) }
+func BenchmarkIngestObsOff(b *testing.B) { benchIngestObs(b, false) }

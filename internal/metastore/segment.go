@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"panrucio/internal/simtime"
 )
@@ -121,10 +122,14 @@ func (x *segIndex[T]) seal(a *arena[T], seqs []uint32) {
 	x.sealed = append(x.sealed, seg)
 	x.start = n
 	x.tail.Store(nil)
+	mSeals.Inc()
+	mSealRows.Observe(float64(len(seg.rows)))
 	x.sealing.Add(1)
 	go func() {
 		defer x.sealing.Done()
+		t0 := time.Now()
 		seg.sortByTime(x.at)
+		mSealSortSeconds.ObserveSince(t0)
 	}()
 }
 
@@ -238,6 +243,7 @@ func (x *segIndex[T]) reset() {
 // too (the shard-level compaction needs it for future merges; the
 // store-level indices do not).
 func mergeRuns[T any](runs [][]*T, seqs [][]uint32, at func(*T) simtime.VTime, withSeqs bool) ([]*T, []uint32) {
+	mMergeWidth.Observe(float64(len(runs)))
 	if len(runs) == 1 {
 		if withSeqs {
 			return runs[0], seqs[0]

@@ -1,0 +1,33 @@
+// Package obs is the dependency-free observability core: atomic metric
+// primitives behind a named registry, a Prometheus text-format encoder,
+// and a structured JSONL run-trace writer. Every instrumented layer —
+// metastore ingest, the core matcher, the simulator, the serving front
+// end — registers into the process-wide Default registry, which cmd/serve
+// exposes at GET /metrics.
+//
+// The primitives are built for hot paths: Counter.Add, Gauge.Set/Add, and
+// Histogram.Observe are allocation-free and safe under -race (plain
+// atomics; the histogram sum is a CAS loop over float64 bits). Histograms
+// have fixed buckets chosen at registration, so observation is an enabled
+// check, a short linear bucket scan, and three atomic updates.
+// Registration is get-or-create keyed on (name, sorted labels); labels are
+// constant and pre-rendered at registration, never touched on update.
+//
+// Two invariants the tests pin:
+//
+//   - Instrumentation must not change behavior. Metrics read the world,
+//     never steer it: analysis and serve bodies are byte-identical with
+//     updates enabled or disabled (SetEnabled exists only so the overhead
+//     benchmarks, bench/BENCH_obs.json, can measure the uninstrumented
+//     baseline of the same code path).
+//
+//   - Encoding is deterministic. WritePrometheus orders families by name,
+//     children by rendered label set, and buckets by bound, independent of
+//     registration order, so equivalent registries encode byte-identically.
+//
+// Trace is the run-trace half: JSONL records ("event" and "span" types)
+// carrying both a virtual-time stamp from the simulation clock and a
+// wall-clock offset, written under a mutex so concurrent emitters
+// interleave whole lines. sim.TraceObserver adapts it to the simulator's
+// checkpoint seam; cmd/repro and cmd/sweep thread it through -trace.
+package obs

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates every hot-path update. Metrics default to on; the overhead
+// benchmarks (bench/BENCH_obs.json) flip it off to measure the
+// uninstrumented baseline of the same code path. Registration and encoding
+// are unaffected — a disabled registry still serves its (frozen) values.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns hot-path metric updates on or off globally. Off is for
+// overhead measurement only; production callers leave the default.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether metric updates are currently recorded.
+func Enabled() bool { return enabled.Load() }
+
+// Label is one constant key=value pair attached to a metric at
+// registration. Labels are rendered once, at registration, so the hot
+// update path never touches them.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// usable, but counters should be obtained from a Registry so they encode.
+// All methods are safe for concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (callers must keep counters monotonic; deltas are positive).
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value. All methods are safe for
+// concurrent use and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: observation counts per
+// upper-bound bucket plus a total count and sum, all updated atomically.
+// Buckets are fixed at registration, so Observe is allocation-free — an
+// enabled check, one linear bucket scan (bucket lists are short), and
+// three atomic updates.
+type Histogram struct {
+	bounds []float64 // sorted inclusive upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefBuckets spans 10µs to 10s — the latency range of everything this
+// module times, from a cache hit to a paper-scale freeze.
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets is a powers-of-four ladder from 1 to ~1M for row/width
+// counts (segment sizes, merge fan-in).
+var SizeBuckets = []float64{
+	1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is what a family's children have in common: each renders its
+// sample lines given the family name and its own rendered label set.
+type metric interface {
+	sampleLines(b *strings.Builder, name, labels string)
+}
+
+// family is one metric name: its HELP/TYPE header plus one child per
+// distinct label set.
+type family struct {
+	name, help, typ string
+	children        map[string]metric // keyed by rendered inner label string
+}
+
+// Registry is a named collection of metrics. Registration is get-or-create:
+// asking twice for the same (name, labels) returns the same metric, so
+// package-level metric variables and per-instance lookups (one histogram
+// per endpoint, say) can coexist. Registering an existing name with a
+// different metric type panics — that is a programming error, not a
+// runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// def is the process-wide default registry every instrumented package
+// registers into; cmd/serve's /metrics endpoint encodes it.
+var def = NewRegistry()
+
+// Default returns the process-wide default registry.
+func Default() *Registry { return def }
+
+// Counter registers (or finds) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.metric(name, help, "counter", labels, func() metric { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q registered as %T, requested as counter", name, m))
+	}
+	return c
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.metric(name, help, "gauge", labels, func() metric { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q registered as %T, requested as gauge", name, m))
+	}
+	return g
+}
+
+// Histogram registers (or finds) a histogram with the given upper bounds
+// (+Inf is implicit). A later request for an existing (name, labels) pair
+// returns the existing histogram regardless of the bounds argument.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	m := r.metric(name, help, "histogram", labels, func() metric { return newHistogram(bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q registered as %T, requested as histogram", name, m))
+	}
+	return h
+}
+
+func (r *Registry) metric(name, help, typ string, labels []Label, mk func() metric) metric {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, children: map[string]metric{}}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	m, ok := f.children[ls]
+	if !ok {
+		m = mk()
+		f.children[ls] = m
+	}
+	return m
+}
+
+// renderLabels renders a label set to its inner Prometheus form
+// (`k1="v1",k2="v2"`, keys sorted, values escaped) once, at registration.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, k int) bool { return ls[i].Key < ls[k].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func encode(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeEncoding(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("inflight", "in-flight requests")
+	g.Set(7)
+	g.Add(-2)
+
+	got := encode(t, r)
+	want := "# HELP inflight in-flight requests\n" +
+		"# TYPE inflight gauge\n" +
+		"inflight 5\n" +
+		"# HELP requests_total total requests\n" +
+		"# TYPE requests_total counter\n" +
+		"requests_total 42\n"
+	if got != want {
+		t.Fatalf("encoding mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramEncoding(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	got := encode(t, r)
+	// Buckets are cumulative; 0.1 lands in le="0.1" (inclusive upper
+	// bound), 100 only in +Inf.
+	want := "# HELP lat_seconds latency\n" +
+		"# TYPE lat_seconds histogram\n" +
+		`lat_seconds_bucket{le="0.1"} 2` + "\n" +
+		`lat_seconds_bucket{le="1"} 3` + "\n" +
+		`lat_seconds_bucket{le="10"} 4` + "\n" +
+		`lat_seconds_bucket{le="+Inf"} 5` + "\n" +
+		"lat_seconds_sum 102.65\n" +
+		"lat_seconds_count 5\n"
+	if got != want {
+		t.Fatalf("encoding mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-102.65) > 1e-9 {
+		t.Fatalf("Sum = %g, want 102.65", h.Sum())
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", "", []float64{10, 1, 0.1})
+	h.Observe(0.5)
+	got := encode(t, r)
+	if !strings.Contains(got, `x_bucket{le="0.1"} 0`) || !strings.Contains(got, `x_bucket{le="1"} 1`) {
+		t.Fatalf("bounds not sorted before bucketing:\n%s", got)
+	}
+}
+
+func TestLabelsAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help with \\ and\nnewline", L("b", `quote " here`), L("a", "line\nbreak\\")).Inc()
+	got := encode(t, r)
+	want := "# HELP m help with \\\\ and\\nnewline\n" +
+		"# TYPE m counter\n" +
+		`m{a="line\nbreak\\",b="quote \" here"} 1` + "\n"
+	if got != want {
+		t.Fatalf("escaping mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramLabelsComposeWithLe(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat", "", []float64{1}, L("endpoint", "meta")).Observe(0.5)
+	got := encode(t, r)
+	for _, line := range []string{
+		`lat_bucket{endpoint="meta",le="1"} 1`,
+		`lat_bucket{endpoint="meta",le="+Inf"} 1`,
+		`lat_sum{endpoint="meta"} 0.5`,
+		`lat_count{endpoint="meta"} 1`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("missing line %q in:\n%s", line, got)
+		}
+	}
+}
+
+// TestDeterministicOrdering registers the same metrics in two different
+// orders and requires byte-identical encodings.
+func TestDeterministicOrdering(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("zz", "z").Inc()
+	r1.Gauge("aa", "a").Set(1)
+	r1.Counter("mm", "m", L("x", "2")).Inc()
+	r1.Counter("mm", "m", L("x", "1")).Add(2)
+
+	r2 := NewRegistry()
+	r2.Counter("mm", "m", L("x", "1")).Add(2)
+	r2.Gauge("aa", "a").Set(1)
+	r2.Counter("mm", "m", L("x", "2")).Inc()
+	r2.Counter("zz", "z").Inc()
+
+	if a, b := encode(t, r1), encode(t, r2); a != b {
+		t.Fatalf("registration order changed encoding:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestGetOrCreateSharing(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "x")
+	b := r.Counter("shared_total", "x")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	if c := r.Counter("shared_total", "x", L("k", "v")); c == a {
+		t.Fatal("distinct label sets returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type-mismatched registration did not panic")
+		}
+	}()
+	r.Gauge("shared_total", "x")
+}
+
+func TestSetEnabledFreezesValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frozen_total", "x")
+	h := r.Histogram("frozen_lat", "x", []float64{1})
+	c.Inc()
+	h.Observe(0.5)
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(0.5)
+	SetEnabled(true)
+	if c.Value() != 1 {
+		t.Fatalf("disabled counter advanced to %d", c.Value())
+	}
+	if h.Count() != 1 {
+		t.Fatalf("disabled histogram advanced to %d", h.Count())
+	}
+}
+
+// TestConcurrentHammer hammers counters, gauges, and histograms from many
+// goroutines while the registry encodes continuously — the -race gate for
+// the whole package, run as a dedicated CI step.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "x")
+	g := r.Gauge("hammer_gauge", "x")
+	h := r.Histogram("hammer_lat", "x", DefBuckets, L("endpoint", "hammer"))
+
+	const workers, iters = 8, 2000
+	stop := make(chan struct{})
+	var encodes sync.WaitGroup
+	encodes.Add(1)
+	go func() {
+		defer encodes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b bytes.Buffer
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Errorf("encode during hammer: %v", err)
+					return
+				}
+				// Late registration must also be safe mid-encode.
+				r.Counter("hammer_total", "x").Value()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	encodes.Wait()
+
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	got := encode(t, r)
+	if !strings.Contains(got, "hammer_total "+formatInt(workers*iters)) {
+		t.Fatalf("final encode missing settled counter:\n%s", got)
+	}
+}
+
+func TestTraceJSONL(t *testing.T) {
+	var b bytes.Buffer
+	tr := NewTrace(&b)
+	tr.Event("checkpoint", 3600, map[string]any{"jobs": 12, "events": 340})
+	tr.Span("scenario", 7200, 150*time.Millisecond, map[string]any{"id": "s1"})
+
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), b.String())
+	}
+	var ev, sp TraceRecord
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &sp); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if ev.Type != "event" || ev.Name != "checkpoint" || ev.VTSecs != 3600 {
+		t.Fatalf("event record mismatch: %+v", ev)
+	}
+	if ev.Fields["jobs"] != float64(12) {
+		t.Fatalf("event fields mismatch: %+v", ev.Fields)
+	}
+	if sp.Type != "span" || sp.DurMS != 150 {
+		t.Fatalf("span record mismatch: %+v", sp)
+	}
+	if sp.WallMS < 0 {
+		t.Fatalf("wall stamp negative: %+v", sp)
+	}
+
+	// A nil trace is a no-op sink, so instrumented call sites never need
+	// nil checks.
+	var none *Trace
+	none.Event("x", 0, nil)
+	none.Span("x", 0, 0, nil)
+}
+
+func TestObserveAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "x")
+	h := r.Histogram("alloc_lat", "x", DefBuckets)
+	g := r.Gauge("alloc_gauge", "x")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(0.001)
+	}); n != 0 {
+		t.Fatalf("hot-path update allocates %.1f per op, want 0", n)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus encodes the registry in the Prometheus text exposition
+// format (version 0.0.4). Output ordering is deterministic: families sort
+// by name, children by rendered label set, histogram buckets by bound —
+// independent of registration order, so two equivalent registries encode
+// byte-identically. Values are read atomically but without a global lock:
+// an encode concurrent with updates sees each sample at some recent value,
+// which is the standard scrape contract.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+		labelSets := make([]string, 0, len(f.children))
+		for ls := range f.children {
+			labelSets = append(labelSets, ls)
+		}
+		sort.Strings(labelSets)
+		for _, ls := range labelSets {
+			f.children[ls].sampleLines(&b, f.name, ls)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry as Prometheus text
+// — the GET /metrics endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func (c *Counter) sampleLines(b *strings.Builder, name, labels string) {
+	writeSample(b, name, labels, "", formatInt(c.Value()))
+}
+
+func (g *Gauge) sampleLines(b *strings.Builder, name, labels string) {
+	writeSample(b, name, labels, "", formatInt(g.Value()))
+}
+
+func (h *Histogram) sampleLines(b *strings.Builder, name, labels string) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(b, name+"_bucket", labels, `le="`+formatFloat(bound)+`"`, formatUint(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(b, name+"_bucket", labels, `le="+Inf"`, formatUint(cum))
+	writeSample(b, name+"_sum", labels, "", formatFloat(h.Sum()))
+	writeSample(b, name+"_count", labels, "", formatUint(h.Count()))
+}
+
+// writeSample renders one `name{labels,extra} value` line; labels and
+// extra are pre-rendered inner label strings, either possibly empty.
+func writeSample(b *strings.Builder, name, labels, extra, value string) {
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func formatInt(v int64) string   { return strconv.FormatInt(v, 10) }
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, integral values without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value: backslash, double quote, newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Trace is a structured run-trace writer: one JSON object per line, each
+// stamped with the record's virtual time (the simulation clock) and the
+// wall-clock milliseconds since the trace started. Writes are serialized
+// by a mutex, so concurrent emitters (sweep workers, say) interleave whole
+// lines, never bytes. Field maps render through encoding/json, whose map
+// keys are sorted — record layout is deterministic even though the wall
+// stamps are not.
+type Trace struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+}
+
+// NewTrace returns a trace writer over w. The caller owns w's lifetime
+// (the writer is typically an *os.File the command closes on exit).
+func NewTrace(w io.Writer) *Trace {
+	return &Trace{w: w, start: time.Now()}
+}
+
+// TraceRecord is the JSONL schema of one trace line. Type is "event"
+// (instantaneous) or "span" (carries a wall duration); VTSecs is the
+// virtual-time stamp in seconds of simulation time, WallMS the wall-clock
+// offset from trace start, DurMS a span's wall duration.
+type TraceRecord struct {
+	Type   string         `json:"type"`
+	Name   string         `json:"name"`
+	VTSecs int64          `json:"vt_secs"`
+	WallMS float64        `json:"wall_ms"`
+	DurMS  float64        `json:"dur_ms,omitempty"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Event appends one instantaneous record.
+func (t *Trace) Event(name string, vtSecs int64, fields map[string]any) {
+	t.emit(TraceRecord{Type: "event", Name: name, VTSecs: vtSecs, Fields: fields})
+}
+
+// Span appends one duration-carrying record.
+func (t *Trace) Span(name string, vtSecs int64, dur time.Duration, fields map[string]any) {
+	t.emit(TraceRecord{
+		Type: "span", Name: name, VTSecs: vtSecs,
+		DurMS: float64(dur.Microseconds()) / 1e3, Fields: fields,
+	})
+}
+
+func (t *Trace) emit(rec TraceRecord) {
+	if t == nil {
+		return
+	}
+	rec.WallMS = float64(time.Since(t.start).Microseconds()) / 1e3
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return // fields must be marshalable; a bad record is dropped, not fatal
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.w.Write(b)
+	t.w.Write([]byte{'\n'})
+}

@@ -65,14 +65,23 @@ func (c *resultCache) get(key cacheKey, fn func() ([]byte, error)) ([]byte, erro
 	if e, ok := c.m[key]; ok {
 		c.order.MoveToFront(e.elem)
 		c.stats.Hits++
+		mCacheHits.Inc()
 		c.mu.Unlock()
-		<-e.ready
+		select {
+		case <-e.ready:
+		default:
+			// The body is still being computed by another caller — this is
+			// the singleflight path, counted separately from settled hits.
+			mCacheSingleflight.Inc()
+			<-e.ready
+		}
 		return e.body, e.err, true
 	}
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	e.elem = c.order.PushFront(e)
 	c.m[key] = e
 	c.stats.Misses++
+	mCacheMisses.Inc()
 	c.evictLocked()
 	c.mu.Unlock()
 
@@ -105,6 +114,7 @@ func (c *resultCache) evictLocked() {
 		c.order.Remove(back)
 		delete(c.m, e.key)
 		c.stats.Evictions++
+		mCacheEvictions.Inc()
 	}
 }
 
@@ -119,6 +129,7 @@ func (c *resultCache) prune(epoch uint64) {
 			delete(c.m, key)
 			c.order.Remove(e.elem)
 			c.stats.Pruned++
+			mCachePruned.Inc()
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"panrucio/internal/analysis"
 	"panrucio/internal/core"
+	"panrucio/internal/obs"
 	"panrucio/internal/records"
 	"panrucio/internal/report"
 	"panrucio/internal/sim"
@@ -49,16 +50,17 @@ var experimentSet = func() map[string]bool {
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /api/meta", s.handleMeta)
-	s.mux.HandleFunc("GET /api/meta/layout", s.handleLayout)
-	s.mux.HandleFunc("GET /api/experiments", s.handleExperimentList)
-	s.mux.HandleFunc("GET /api/experiments/{id}", s.handleExperiment)
-	s.mux.HandleFunc("GET /api/job", s.handleJob)
-	s.mux.HandleFunc("GET /api/match", s.handleMatch)
-	s.mux.HandleFunc("GET /api/task", s.handleTask)
-	s.mux.HandleFunc("GET /api/pandaids", s.handlePandaIDs)
-	s.mux.HandleFunc("POST /api/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", timed("healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", obs.Handler(obs.Default()))
+	s.mux.HandleFunc("GET /api/meta", timed("meta", s.handleMeta))
+	s.mux.HandleFunc("GET /api/meta/layout", timed("layout", s.handleLayout))
+	s.mux.HandleFunc("GET /api/experiments", timed("experiments", s.handleExperimentList))
+	s.mux.HandleFunc("GET /api/experiments/{id}", timed("experiment", s.handleExperiment))
+	s.mux.HandleFunc("GET /api/job", timed("job", s.handleJob))
+	s.mux.HandleFunc("GET /api/match", timed("match", s.handleMatch))
+	s.mux.HandleFunc("GET /api/task", timed("task", s.handleTask))
+	s.mux.HandleFunc("GET /api/pandaids", timed("pandaids", s.handlePandaIDs))
+	s.mux.HandleFunc("POST /api/sweep", timed("sweep", s.handleSweep))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

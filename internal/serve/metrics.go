@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"panrucio/internal/obs"
+)
+
+// Process-wide serving metrics. Per-endpoint request latency is one
+// histogram family labeled by endpoint name (the histograms are resolved
+// at route construction, so the request path does a map-free closure call,
+// two gauge updates, and one observation). Cache counters mirror the
+// per-server CacheStats struct into the scrapeable registry; with several
+// servers in one process (tests) they aggregate, which is the standard
+// process-wide metrics contract.
+var (
+	mInFlight = obs.Default().Gauge("serve_inflight_requests",
+		"requests currently being handled")
+	mRequests = obs.Default().Counter("serve_requests_total",
+		"requests handled (all endpoints)")
+	mCacheHits = obs.Default().Counter("serve_cache_hits_total",
+		"result-cache hits (including singleflight waits)")
+	mCacheMisses = obs.Default().Counter("serve_cache_misses_total",
+		"result-cache misses (body computed)")
+	mCacheEvictions = obs.Default().Counter("serve_cache_evictions_total",
+		"result-cache LRU evictions")
+	mCachePruned = obs.Default().Counter("serve_cache_pruned_total",
+		"result-cache entries pruned at epoch publish")
+	mCacheSingleflight = obs.Default().Counter("serve_cache_singleflight_waits_total",
+		"cache hits that waited on another caller's in-flight computation")
+	mWindows = obs.Default().Counter("serve_windows_total",
+		"live epoch read-windows opened (final publish excluded)")
+	mWindowSeconds = obs.Default().Histogram("serve_window_open_seconds",
+		"how long each live read window stayed open before ingest resumed", obs.DefBuckets)
+	mEpoch = obs.Default().Gauge("serve_epoch",
+		"store epoch of the most recent publish")
+)
+
+// timed wraps one endpoint's handler with the request instrumentation:
+// in-flight gauge, total counter, and the endpoint's latency histogram.
+func timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := obs.Default().Histogram("serve_request_seconds",
+		"request latency by endpoint", obs.DefBuckets, obs.L("endpoint", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		mInFlight.Add(1)
+		t0 := time.Now()
+		h(w, r)
+		hist.ObserveSince(t0)
+		mInFlight.Add(-1)
+		mRequests.Inc()
+	}
+}

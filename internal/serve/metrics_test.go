@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"panrucio/internal/obs"
+	"panrucio/internal/sim"
+)
+
+// TestMetricsEndpoint drives a little traffic through a frozen server and
+// checks GET /metrics returns well-formed Prometheus text carrying the
+// serve-layer families: every sample line parses as `name value`, and the
+// latency histogram plus the cache counters are present.
+func TestMetricsEndpoint(t *testing.T) {
+	s := NewFrozen(sim.Run(sim.QuickConfig(11)), Options{})
+	get(t, s, "/api/meta")
+	get(t, s, "/api/meta") // second hit exercises the cache-hit counter
+	get(t, s, "/healthz")
+
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := w.Body.String()
+	if body == "" {
+		t.Fatal("empty /metrics body")
+	}
+	for _, want := range []string{
+		"# TYPE serve_request_seconds histogram",
+		`serve_request_seconds_bucket{endpoint="meta",le="+Inf"}`,
+		"# TYPE serve_cache_hits_total counter",
+		"serve_cache_hits_total",
+		"serve_cache_misses_total",
+		"serve_requests_total",
+		"serve_inflight_requests",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+	}
+}
+
+// TestInstrumentationDoesNotChangeBodies is the PR's hard invariant:
+// every response body is byte-identical whether metrics collection is
+// enabled or disabled. Two servers run the identical scenario, one with
+// obs gated off, and their bodies are compared path by path.
+func TestInstrumentationDoesNotChangeBodies(t *testing.T) {
+	stubE14(t)
+	fetch := func() map[string]string {
+		s := NewFrozen(sim.Run(sim.QuickConfig(11)), Options{MatchWorkers: 2})
+		paths := []string{
+			"/api/meta",
+			"/api/experiments",
+			"/api/pandaids?limit=8",
+		}
+		for _, id := range Experiments {
+			paths = append(paths, "/api/experiments/"+id)
+		}
+		bodies := make(map[string]string, len(paths))
+		for _, p := range paths {
+			bodies[p] = string(get(t, s, p))
+		}
+		return bodies
+	}
+
+	if !obs.Enabled() {
+		t.Fatal("obs should be enabled by default")
+	}
+	on := fetch()
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	off := fetch()
+
+	if len(on) < 5 {
+		t.Fatalf("only %d paths compared", len(on))
+	}
+	for p, want := range on {
+		if got := off[p]; got != want {
+			t.Errorf("%s: body changed with metrics disabled:\n%s\nvs\n%s",
+				p, want, got)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"panrucio/internal/experiments"
 	"panrucio/internal/metastore"
@@ -140,9 +141,16 @@ func (s *Server) publish(res *sim.Result, final bool) {
 	epoch := s.epoch.Add(1)
 	s.st = &state{res: res, epoch: epoch, final: final}
 	s.cache.prune(epoch)
+	mEpoch.Set(int64(epoch))
+	t0 := time.Now()
 	s.mu.Unlock()
 	if !final {
+		// The window is open from the Unlock until the Lock re-acquires —
+		// queued readers drain in between, so the elapsed time is exactly
+		// how long this epoch's read window stayed open.
 		s.mu.Lock()
+		mWindows.Inc()
+		mWindowSeconds.ObserveSince(t0)
 	}
 }
 

@@ -4,16 +4,34 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"time"
 
 	"panrucio/internal/corruption"
 	"panrucio/internal/metastore"
 	"panrucio/internal/netsim"
+	"panrucio/internal/obs"
 	"panrucio/internal/panda"
 	"panrucio/internal/records"
 	"panrucio/internal/rucio"
 	"panrucio/internal/simtime"
 	"panrucio/internal/topology"
 	"panrucio/internal/workload"
+)
+
+// Process-wide simulator metrics. Everything here updates at run or
+// checkpoint granularity — never per event — so the event engine's hot
+// loop carries no instrumentation cost at all.
+var (
+	mRuns = obs.Default().Counter("sim_runs_total",
+		"completed scenario runs (Run, RunReusing, RunWithObserver)")
+	mRunSeconds = obs.Default().Histogram("sim_run_wall_seconds",
+		"wall time of one scenario run (simulation + final freeze)", obs.DefBuckets)
+	mEventsPerSec = obs.Default().Gauge("sim_events_per_sec",
+		"emitted events per wall second of the most recently completed run")
+	mCheckpoints = obs.Default().Counter("sim_checkpoints_total",
+		"observer checkpoints fired across all runs")
+	mCheckpointSeconds = obs.Default().Histogram("sim_checkpoint_wall_seconds",
+		"wall time from one observer checkpoint to the next (observer included)", obs.DefBuckets)
 )
 
 // Config selects the simulation scenario. Zero sub-configs take each
@@ -150,6 +168,15 @@ func RunReusing(cfg Config, store *metastore.Store) *Result {
 	return runReusing(cfg, store, 0, nil)
 }
 
+// RunReusingObserved combines RunReusing and RunWithObserver: a
+// caller-provided store plus periodic mid-run checkpoints. The sweep
+// engine uses it to emit run traces from its worker-owned stores; the
+// Result (and every query output) is identical to RunReusing's for the
+// same Config.
+func RunReusingObserved(cfg Config, store *metastore.Store, every simtime.VTime, obs Observer) *Result {
+	return runReusing(cfg, store, every, obs)
+}
+
 // GridFor builds the topology grid the scenario runs on — the same
 // deterministic construction runReusing performs, including the CPUScale
 // adjustment. The serving layer uses it to give mid-run observers a grid
@@ -193,13 +220,19 @@ func runReusing(cfg Config, store *metastore.Store, every simtime.VTime, obs Obs
 	if !cfg.DisableBackground {
 		rucio.StartBackground(ruc, root.Split("background"), cfg.Background)
 	}
+	start := time.Now()
 	if obs != nil && every > 0 {
 		// The checkpoint event reschedules itself until the horizon. It only
 		// reads the store, so it cannot perturb the trajectory of the
 		// scenario's own events.
+		last := start
 		var tick func()
 		tick = func() {
 			obs(eng.Now(), store)
+			now := time.Now()
+			mCheckpoints.Inc()
+			mCheckpointSeconds.Observe(now.Sub(last).Seconds())
+			last = now
 			if eng.Now()+every < horizon {
 				eng.After(every, "observer", tick)
 			}
@@ -212,6 +245,12 @@ func runReusing(cfg Config, store *metastore.Store, every simtime.VTime, obs Obs
 	// analyses (and the matcher's parallel workers) start from a frozen,
 	// read-only store.
 	store.Freeze()
+	wall := time.Since(start)
+	mRuns.Inc()
+	mRunSeconds.Observe(wall.Seconds())
+	if secs := wall.Seconds(); secs > 0 {
+		mEventsPerSec.Set(int64(float64(ruc.EmittedEvents) / secs))
+	}
 
 	return &Result{
 		Config:         cfg,

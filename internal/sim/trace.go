@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"time"
+
+	"panrucio/internal/metastore"
+	"panrucio/internal/obs"
+	"panrucio/internal/simtime"
+)
+
+// TraceObserver adapts a run-trace writer to the simulator's checkpoint
+// seam: the returned Observer emits one "event" record per checkpoint,
+// named name, carrying the store's record counts, the segment-lifecycle
+// state, and the wall-clock ingest rate since the previous checkpoint.
+// The observer only reads the store, so — like any Observer — it cannot
+// perturb the run's trajectory; a nil tr yields records into the void
+// (obs.Trace methods are nil-safe), so call sites need no branching.
+//
+// cmd/repro wires it through -trace; the sweep engine tags name with the
+// scenario id so interleaved worker records stay attributable.
+func TraceObserver(tr *obs.Trace, name string) Observer {
+	last := time.Now()
+	lastEvents := 0
+	return func(now simtime.VTime, store *metastore.Store) {
+		wall := time.Now()
+		events := store.TransferCount()
+		rate := 0.0
+		if secs := wall.Sub(last).Seconds(); secs > 0 {
+			rate = float64(events-lastEvents) / secs
+		}
+		tr.Event(name, int64(now), map[string]any{
+			"jobs":                  store.JobCount(),
+			"files":                 store.FileCount(),
+			"transfers":             events,
+			"transfers_with_taskid": store.TransfersWithTaskID(),
+			"sealed_segments":       store.SealedSegments(),
+			"events_per_sec":        rate,
+		})
+		last = wall
+		lastEvents = events
+	}
+}

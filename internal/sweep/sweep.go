@@ -3,12 +3,15 @@ package sweep
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"panrucio/internal/analysis"
 	"panrucio/internal/core"
 	"panrucio/internal/metastore"
+	"panrucio/internal/obs"
 	"panrucio/internal/records"
 	"panrucio/internal/sim"
+	"panrucio/internal/simtime"
 )
 
 // Options tunes the engine's fan-out. The two knobs multiply: Workers
@@ -31,6 +34,14 @@ type Options struct {
 	// worker's metastore (<= 0 picks metastore.DefaultSegmentRows). Like
 	// Shards, the report is byte-identical for any value.
 	SegmentRows int
+	// Trace, when non-nil, receives one checkpoint event per TraceEvery of
+	// virtual time per scenario (named by scenario id) plus one span per
+	// scenario. The trace writer serializes concurrent workers' records;
+	// the report itself stays byte-identical with tracing on.
+	Trace *obs.Trace
+	// TraceEvery is the virtual time between trace checkpoints (<= 0
+	// selects 6 hours). Ignored without Trace.
+	TraceEvery simtime.VTime
 }
 
 func (o *Options) fill(scenarios int) {
@@ -42,6 +53,9 @@ func (o *Options) fill(scenarios int) {
 	}
 	if o.MatchWorkers <= 0 {
 		o.MatchWorkers = 1
+	}
+	if o.TraceEvery <= 0 {
+		o.TraceEvery = 6 * simtime.Hour
 	}
 }
 
@@ -115,7 +129,7 @@ func Run(scenarios []Scenario, opt Options) *Report {
 	if opt.Workers <= 1 {
 		store := metastore.NewShardedSegmented(opt.Shards, opt.SegmentRows)
 		for i, sc := range scenarios {
-			outcomes[i] = evaluate(sc, store, opt.MatchWorkers)
+			outcomes[i] = evaluate(sc, store, opt)
 		}
 		return &Report{Outcomes: outcomes}
 	}
@@ -128,7 +142,7 @@ func Run(scenarios []Scenario, opt Options) *Report {
 			defer wg.Done()
 			store := metastore.NewShardedSegmented(opt.Shards, opt.SegmentRows)
 			for i := range idx {
-				outcomes[i] = evaluate(scenarios[i], store, opt.MatchWorkers)
+				outcomes[i] = evaluate(scenarios[i], store, opt)
 			}
 		}()
 	}
@@ -142,11 +156,24 @@ func Run(scenarios []Scenario, opt Options) *Report {
 
 // evaluate runs one scenario end to end on the worker's store: simulate,
 // freeze, run the three matching passes, evaluate the shape checks, and
-// flatten everything into value data.
-func evaluate(sc Scenario, store *metastore.Store, matchWorkers int) Outcome {
-	res := sim.RunReusing(sc.Config, store)
+// flatten everything into value data. With Options.Trace set, the run is
+// observed through the checkpoint seam (records named by scenario id) and
+// wrapped in a per-scenario span — the Outcome is identical either way.
+func evaluate(sc Scenario, store *metastore.Store, opt Options) Outcome {
+	var res *sim.Result
+	if opt.Trace != nil {
+		t0 := time.Now()
+		res = sim.RunReusingObserved(sc.Config, store, opt.TraceEvery,
+			sim.TraceObserver(opt.Trace, sc.ID))
+		opt.Trace.Span(sc.ID, int64(res.WindowTo), time.Since(t0), map[string]any{
+			"x":             sc.X,
+			"stored_events": res.Store.TransferCount(),
+		})
+	} else {
+		res = sim.RunReusing(sc.Config, store)
+	}
 	jobs := res.Store.Jobs(res.WindowFrom, res.WindowTo, records.LabelUser)
-	cmp := analysis.CompareMethodsParallel(core.NewMatcher(res.Store), jobs, matchWorkers)
+	cmp := analysis.CompareMethodsParallel(core.NewMatcher(res.Store), jobs, opt.MatchWorkers)
 	checks := analysis.ShapeChecks(res.Store, res.Grid, res.WindowFrom, res.WindowTo, cmp)
 
 	out := Outcome{

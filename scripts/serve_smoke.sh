@@ -1,14 +1,17 @@
 #!/bin/sh
 # End-to-end smoke of the serving layer: start cmd/serve on the quick
 # scenario, replay a short mixed read workload with cmd/loadgen at zero
-# error tolerance, and assert the metrics JSON is well-formed. CI runs
-# this in the test job; DESIGN.md ("Serving layer") states the contract.
+# error tolerance, assert the metrics JSON is well-formed, and check the
+# live GET /metrics endpoint returns well-formed Prometheus text. CI runs
+# this in the test job; DESIGN.md ("Serving layer", "Observability")
+# states the contracts.
 set -eu
 cd "$(dirname "$0")/.."
 
 ADDR="127.0.0.1:18321"
 OUT="$(mktemp)"
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$OUT"' EXIT
+PROM="$(mktemp)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$OUT" "$PROM"' EXIT
 
 go build -o /tmp/panrucio-serve ./cmd/serve
 go build -o /tmp/panrucio-loadgen ./cmd/loadgen
@@ -17,10 +20,10 @@ go build -o /tmp/panrucio-loadgen ./cmd/loadgen
 SERVE_PID=$!
 
 /tmp/panrucio-loadgen -url "http://$ADDR" -seconds 2 -workers 4 \
-    -wait 30 -max-error-rate 0 -format json > "$OUT"
+    -wait 30 -max-error-rate 0 -format json -scrape > "$OUT"
 
 cat "$OUT"
-for key in requests qps p50_us p95_us p99_us error_pct; do
+for key in requests qps p50_us p95_us p99_us error_pct server_cache_hit_pct; do
     if ! grep -q "\"$key\"" "$OUT"; then
         echo "serve smoke: metrics JSON missing \"$key\"" >&2
         exit 1
@@ -28,6 +31,26 @@ for key in requests qps p50_us p95_us p99_us error_pct; do
 done
 if grep -q '"requests":0,' "$OUT"; then
     echo "serve smoke: no requests completed" >&2
+    exit 1
+fi
+
+curl -fsS "http://$ADDR/metrics" > "$PROM"
+if ! [ -s "$PROM" ]; then
+    echo "serve smoke: /metrics returned an empty body" >&2
+    exit 1
+fi
+if ! grep -q '^# TYPE serve_request_seconds histogram$' "$PROM"; then
+    echo "serve smoke: /metrics missing the serve_request_seconds histogram" >&2
+    exit 1
+fi
+if ! grep -q '^serve_cache_' "$PROM"; then
+    echo "serve smoke: /metrics missing the serve_cache_* counters" >&2
+    exit 1
+fi
+# Every sample line must be `name{labels} value` with a numeric value.
+if grep -v '^#' "$PROM" | grep -qvE '^[A-Za-z_][A-Za-z0-9_]*(\{[^}]*\})? -?[0-9.e+-]+$'; then
+    echo "serve smoke: /metrics has a malformed sample line:" >&2
+    grep -v '^#' "$PROM" | grep -vE '^[A-Za-z_][A-Za-z0-9_]*(\{[^}]*\})? -?[0-9.e+-]+$' >&2
     exit 1
 fi
 echo "serve smoke: OK"
