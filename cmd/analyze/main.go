@@ -8,8 +8,10 @@
 // where <id> is one of: summary, fig2, fig3, table1, table2a, table2b,
 // fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, checks, all — plus
 // the extension studies: anomaly (automated anomaly scan), repair
-// (metadata-repair uplift), coopt (brokerage-policy comparison), and e14
-// (the corruption-robustness sweep; cmd/sweep is the full front end).
+// (metadata-repair uplift), coopt (brokerage-policy comparison), e14
+// (the corruption-robustness sweep; cmd/sweep is the full front end), and
+// e15 (at-rest tamper detection through segment commitments, plus the
+// online detect-and-repair loop).
 package main
 
 import (
@@ -44,7 +46,7 @@ var experimentIDs = map[string]bool{
 	"table2a": true, "table2b": true, "fig5": true, "fig6": true,
 	"fig7": true, "fig8": true, "fig9": true, "fig10": true,
 	"fig11": true, "fig12": true, "anomaly": true, "repair": true,
-	"coopt": true, "e14": true, "checks": true, "all": true,
+	"coopt": true, "e14": true, "e15": true, "checks": true, "all": true,
 }
 
 // validExperiments lists the -exp ids in usage/error order.
@@ -80,9 +82,9 @@ func parseFlags(args []string) (*options, error) {
 	if o.workers < 0 {
 		return nil, fmt.Errorf("-workers must be non-negative, got %d", o.workers)
 	}
-	if o.exp == "e14" {
-		// E14 runs the canned quick-scale sweep grid, not the single-suite
-		// pipeline: reject flags it would silently ignore.
+	if o.exp == "e14" || o.exp == "e15" {
+		// E14/E15 run canned quick-scale sweep grids, not the single-suite
+		// pipeline: reject flags they would silently ignore.
 		var rejected []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -91,8 +93,8 @@ func parseFlags(args []string) (*options, error) {
 			}
 		})
 		if len(rejected) > 0 {
-			return nil, fmt.Errorf("%s not supported with -exp e14 (the sweep fixes its own scenarios; use cmd/sweep for more control)",
-				strings.Join(rejected, ", "))
+			return nil, fmt.Errorf("%s not supported with -exp %s (the sweep fixes its own scenarios; use cmd/sweep for more control)",
+				strings.Join(rejected, ", "), o.exp)
 		}
 	}
 	return o, nil
@@ -118,6 +120,13 @@ func main() {
 		// E14 is a multi-scenario experiment: it runs its own sweep grid
 		// (cmd/sweep is the richer front end), not the single-suite pipeline.
 		fmt.Print(experiments.RobustnessSweep(o.seed, o.workers).Markdown())
+		return
+	}
+	if o.exp == "e15" {
+		// E15 pairs the per-channel detection sweep with one online
+		// detect-and-repair run.
+		fmt.Print(experiments.DetectionSweep(o.seed, o.workers).Markdown())
+		fmt.Println(experiments.OnlineVerify(o.seed).Table().Render())
 		return
 	}
 	s := experiments.RunWorkers(o.config(), o.workers)

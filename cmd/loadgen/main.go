@@ -189,10 +189,15 @@ type metrics struct {
 	// Server-side counters folded in by -scrape (absent otherwise). The
 	// hits/misses are deltas over this run: the /metrics counters are
 	// process-lifetime totals, so a pre-run scrape anchors the baseline.
+	// Each delta is clamped at zero — a server restart between the two
+	// scrapes resets the counters, and a negative "hits this run" is
+	// garbage, not data. A failed scrape degrades to ScrapeWarning: the
+	// load metrics are still valid and still reported.
 	Scraped           bool    `json:"scraped,omitempty"`
 	ServerCacheHits   int64   `json:"server_cache_hits,omitempty"`
 	ServerCacheMisses int64   `json:"server_cache_misses,omitempty"`
 	ServerCacheHitPct float64 `json:"server_cache_hit_pct,omitempty"`
+	ScrapeWarning     string  `json:"scrape_warning,omitempty"`
 }
 
 // percentile is the nearest-rank percentile of a sorted latency slice.
@@ -350,6 +355,26 @@ func parseCounters(body string, names ...string) (map[string]int64, error) {
 
 var cacheCounterNames = []string{"serve_cache_hits_total", "serve_cache_misses_total"}
 
+// counterDelta is the run-scoped delta of one scraped counter, clamped at
+// zero: a counter can only shrink if the server restarted mid-run, and a
+// negative delta would poison the hit-ratio arithmetic below.
+func counterDelta(after, before map[string]int64, name string) int64 {
+	if d := after[name] - before[name]; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// foldScrape folds the before/after counter scrapes into the report.
+func foldScrape(m *metrics, before, after map[string]int64) {
+	m.Scraped = true
+	m.ServerCacheHits = counterDelta(after, before, "serve_cache_hits_total")
+	m.ServerCacheMisses = counterDelta(after, before, "serve_cache_misses_total")
+	if total := m.ServerCacheHits + m.ServerCacheMisses; total > 0 {
+		m.ServerCacheHitPct = 100 * float64(m.ServerCacheHits) / float64(total)
+	}
+}
+
 // run executes the load and aggregates the metrics.
 func run(o *options) (*metrics, error) {
 	client := &http.Client{Timeout: 60 * time.Second}
@@ -362,11 +387,14 @@ func run(o *options) (*metrics, error) {
 	}
 
 	// Anchor the server-side counters before any load: /metrics exports
-	// process-lifetime totals, and the report wants this run's deltas.
+	// process-lifetime totals, and the report wants this run's deltas. A
+	// failed scrape must not abort the run — the load metrics are the
+	// primary product — so it degrades to a warning in the report.
 	var before map[string]int64
+	var scrapeWarn string
 	if o.scrape {
 		if before, err = scrapeCounters(client, o.url, cacheCounterNames...); err != nil {
-			return nil, err
+			scrapeWarn = "pre-run scrape failed: " + err.Error()
 		}
 	}
 
@@ -425,18 +453,14 @@ func run(o *options) (*metrics, error) {
 	if n := len(all); n > 0 {
 		m.Maxus = float64(all[n-1].Microseconds())
 	}
-	if o.scrape {
-		after, err := scrapeCounters(client, o.url, cacheCounterNames...)
-		if err != nil {
-			return nil, err
-		}
-		m.Scraped = true
-		m.ServerCacheHits = after["serve_cache_hits_total"] - before["serve_cache_hits_total"]
-		m.ServerCacheMisses = after["serve_cache_misses_total"] - before["serve_cache_misses_total"]
-		if total := m.ServerCacheHits + m.ServerCacheMisses; total > 0 {
-			m.ServerCacheHitPct = 100 * float64(m.ServerCacheHits) / float64(total)
+	if o.scrape && scrapeWarn == "" {
+		if after, err := scrapeCounters(client, o.url, cacheCounterNames...); err != nil {
+			scrapeWarn = "post-run scrape failed: " + err.Error()
+		} else {
+			foldScrape(m, before, after)
 		}
 	}
+	m.ScrapeWarning = scrapeWarn
 	return m, nil
 }
 
@@ -457,6 +481,9 @@ func render(w io.Writer, o *options, m *metrics) error {
 	if m.Scraped {
 		fmt.Fprintf(w, "loadgen: server cache %d hits / %d misses (%.1f%% hit)\n",
 			m.ServerCacheHits, m.ServerCacheMisses, m.ServerCacheHitPct)
+	}
+	if m.ScrapeWarning != "" {
+		fmt.Fprintf(w, "loadgen: warning: %s\n", m.ScrapeWarning)
 	}
 	// A benchmark-formatted line so a run can be pasted next to the
 	// bench/BENCH_*.txt artifacts.

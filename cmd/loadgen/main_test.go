@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -176,5 +177,84 @@ func TestRunAgainstServe(t *testing.T) {
 	if !strings.Contains(buf.String(), "BenchmarkLoadgen") ||
 		!strings.Contains(buf.String(), "p99_us") {
 		t.Fatalf("text output missing benchmark line:\n%s", buf.String())
+	}
+}
+
+// TestFoldScrapeClampsNegativeDeltas pins the restart-reset regression: a
+// server restart between the anchor scrape and the post-run scrape resets
+// the process-lifetime counters, so the raw delta goes negative. The
+// report must clamp it to zero, not print a negative hit count.
+func TestFoldScrapeClampsNegativeDeltas(t *testing.T) {
+	m := &metrics{}
+	foldScrape(m,
+		map[string]int64{"serve_cache_hits_total": 500, "serve_cache_misses_total": 100},
+		map[string]int64{"serve_cache_hits_total": 3, "serve_cache_misses_total": 250})
+	if !m.Scraped {
+		t.Fatal("foldScrape did not mark the report")
+	}
+	if m.ServerCacheHits != 0 {
+		t.Errorf("hits delta = %d, want clamped 0 (counters went 500 -> 3)", m.ServerCacheHits)
+	}
+	if m.ServerCacheMisses != 150 {
+		t.Errorf("misses delta = %d, want 150", m.ServerCacheMisses)
+	}
+	if m.ServerCacheHitPct != 0 {
+		t.Errorf("hit pct = %g, want 0 with zero hits", m.ServerCacheHitPct)
+	}
+
+	// Both reset: no traffic at all, and the pct must not divide by zero.
+	m = &metrics{}
+	foldScrape(m,
+		map[string]int64{"serve_cache_hits_total": 9, "serve_cache_misses_total": 9},
+		map[string]int64{"serve_cache_hits_total": 1, "serve_cache_misses_total": 2})
+	if m.ServerCacheHits != 0 || m.ServerCacheMisses != 0 || m.ServerCacheHitPct != 0 {
+		t.Errorf("full reset: %+v, want all zeros", m)
+	}
+}
+
+// TestScrapeFailureDegradesToWarning pins the scrape-failure regression:
+// when /metrics is unreachable, -scrape must not discard the whole load
+// report — the metrics come back with a warning instead.
+func TestScrapeFailureDegradesToWarning(t *testing.T) {
+	// A serve mux without the /metrics route: every API path works, the
+	// scrape 404s.
+	srv := serve.NewFrozen(sim.Run(sim.QuickConfig(11)), serve.Options{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			http.Error(w, "no metrics here", http.StatusServiceUnavailable)
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	o, err := parseFlags([]string{
+		"-url", ts.URL, "-seconds", "0.2", "-workers", "2",
+		"-ids", "8", "-format", "json", "-scrape",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := run(o)
+	if err != nil {
+		t.Fatalf("scrape failure aborted the run: %v", err)
+	}
+	if m.Requests == 0 {
+		t.Fatal("no load metrics despite the run completing")
+	}
+	if m.Scraped {
+		t.Error("report marked scraped despite /metrics failing")
+	}
+	if m.ScrapeWarning == "" {
+		t.Error("no scrape warning in the report")
+	}
+
+	var buf bytes.Buffer
+	o.format = "text"
+	if err := render(&buf, o, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "warning:") {
+		t.Errorf("text report missing the scrape warning:\n%s", buf.String())
 	}
 }

@@ -12,7 +12,9 @@
 //
 // The canned grids are quick-scale (2-day scenarios): "robustness" is the
 // E14 corruption ramp, "seeds" an 8-way seed fan-out, "mix" the workload
-// mix crossed with background-traffic intensity.
+// mix crossed with background-traffic intensity, and "verify" the E15
+// integrity grid — per-channel ingest corruption (tolerance) paired with
+// the same channel's at-rest tamper of sealed segments (detection).
 //
 // -trace writes a JSONL run trace: per-scenario checkpoint events (named
 // by scenario id, so concurrent workers' records stay attributable) and
@@ -50,7 +52,7 @@ func parseFlags(args []string) (*options, error) {
 	o := &options{}
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.Int64Var(&o.seed, "seed", 1, "base simulation seed")
-	fs.StringVar(&o.grid, "grid", "robustness", "canned grid: robustness (E14 corruption ramp), seeds, mix")
+	fs.StringVar(&o.grid, "grid", "robustness", "canned grid: robustness (E14 corruption ramp), seeds, mix, verify (E15 tamper detection)")
 	fs.IntVar(&o.scenarios, "scenarios", 0, "run only the first N scenarios of the grid (0 = all)")
 	fs.IntVar(&o.workers, "workers", 0, "concurrent scenarios (0 = all cores, 1 = serial)")
 	fs.IntVar(&o.matchWorkers, "match-workers", 1, "matcher goroutines per scenario (0 = all cores)")
@@ -63,9 +65,9 @@ func parseFlags(args []string) (*options, error) {
 		return nil, err
 	}
 	switch o.grid {
-	case "robustness", "seeds", "mix":
+	case "robustness", "seeds", "mix", "verify":
 	default:
-		return nil, fmt.Errorf("unknown grid %q (want robustness, seeds, or mix)", o.grid)
+		return nil, fmt.Errorf("unknown grid %q (want robustness, seeds, mix, or verify)", o.grid)
 	}
 	switch o.format {
 	case "markdown", "json":
@@ -105,6 +107,8 @@ func buildGrid(o *options) []sweep.Scenario {
 		scenarios = sweep.SeedFanOut(base, 8)
 	case "mix":
 		scenarios = sweep.MixGrid(base)
+	case "verify":
+		scenarios = sweep.VerifyGrid(base, sweep.DefaultVerifyProb)
 	}
 	if o.scenarios > 0 && o.scenarios < len(scenarios) {
 		scenarios = scenarios[:o.scenarios]

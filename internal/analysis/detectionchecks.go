@@ -1,0 +1,39 @@
+package analysis
+
+import "fmt"
+
+// DetectionChecks evaluates the E15 integrity-detection claims for one
+// scenario from plain value data (no store or report pointers, for the
+// same reason ShapeChecks avoids them: sweep outcomes outlive their
+// scenario's store). The claims mirror the commitment design's guarantees:
+//
+//   - detection-complete: every tampered sealed row produced a row-tamper
+//     violation (100% detection — the hash covers every committed field,
+//     so any actual change must miss its committed hash);
+//   - truncation-detected: every rolled-back segment produced a truncation
+//     violation (the committed count survives the rollback);
+//   - no-false-positives: the pre-tamper audit of the same store was clean
+//     (detection without precision would make the repair loop fire on
+//     healthy data).
+//
+// A scenario with nothing tampered (the clean control) asserts only the
+// false-positive claim; the two detection claims degenerate to 0 == 0.
+func DetectionChecks(tamperedRows, detectedRows, truncatedSegs, truncDetected int, cleanBefore bool) []Check {
+	return []Check{
+		{
+			Name:   "detection-complete",
+			OK:     detectedRows == tamperedRows,
+			Detail: fmt.Sprintf("%d/%d tampered rows detected", detectedRows, tamperedRows),
+		},
+		{
+			Name:   "truncation-detected",
+			OK:     truncDetected == truncatedSegs,
+			Detail: fmt.Sprintf("%d/%d truncated segments detected", truncDetected, truncatedSegs),
+		},
+		{
+			Name:   "no-false-positives",
+			OK:     cleanBefore,
+			Detail: fmt.Sprintf("pre-tamper audit clean=%v", cleanBefore),
+		},
+	}
+}

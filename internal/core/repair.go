@@ -53,6 +53,14 @@ func RepairStore(store *metastore.Store, grid *topology.Grid, rm2 *Result) (*met
 		}
 	}
 
+	// Clean RM2 result: nothing to rewrite, so skip the full store copy and
+	// hand the caller's store back unchanged. The copy below exists only to
+	// carry edited rows; with zero fixes it would burn O(store) time and
+	// memory to produce a semantic clone.
+	if len(fixes) == 0 {
+		return store, st
+	}
+
 	repaired := metastore.NewSharded(store.ShardCount())
 	for _, j := range store.Jobs(0, 1<<62, "") {
 		repaired.PutJob(j)

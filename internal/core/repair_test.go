@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"panrucio/internal/corruption"
 	"panrucio/internal/records"
 	"panrucio/internal/sim"
 	"panrucio/internal/topology"
@@ -42,6 +43,34 @@ func TestRepairStoreFixesKnownCase(t *testing.T) {
 		if ev.DestinationSite != sSite {
 			t.Errorf("repaired label = %q", ev.DestinationSite)
 		}
+	}
+}
+
+// TestRepairStoreNoOpFastPath pins the clean-result regression: when the
+// RM2 pass yields no label fixes, RepairStore must hand back the caller's
+// store untouched instead of burning time and memory on a full semantic
+// clone. Pointer identity plus commitment identity (the seal-time hash of
+// every stored row) prove both "same store" and "same bytes".
+func TestRepairStoreNoOpFastPath(t *testing.T) {
+	cfg := sim.QuickConfig(5)
+	cfg.Corruption = corruption.Config{Disable: true}
+	res := sim.Run(cfg)
+	jobs := res.Store.Jobs(res.WindowFrom, res.WindowTo, records.LabelUser)
+	rm2 := NewMatcher(res.Store).Run(jobs, RM2)
+
+	before := res.Store.StoreCommitment()
+	repaired, st := RepairStore(res.Store, res.Grid, rm2)
+	if st.LabelsRepaired != 0 {
+		t.Fatalf("clean run repaired %d labels — scenario not actually clean", st.LabelsRepaired)
+	}
+	if st.EventsExamined == 0 {
+		t.Fatal("repair examined nothing — the RM2 pass matched no transfers")
+	}
+	if repaired != res.Store {
+		t.Fatal("no-op repair returned a new store instead of the original")
+	}
+	if repaired.StoreCommitment() != before {
+		t.Fatal("no-op repair changed the store commitment")
 	}
 }
 

@@ -294,3 +294,99 @@ func TestNegativeProbabilityMeansExactlyZero(t *testing.T) {
 		t.Fatalf("corruption acted with every channel forced off: %+v", st)
 	}
 }
+
+// TestNegativeProbabilityPerChannel isolates the negative-means-zero
+// contract channel by channel: with every OTHER channel cranked high, a
+// single negative probability must silence exactly its own channel while
+// the rest keep firing. This is what sweep's soloChannel/zeroable ramps
+// rely on — a channel "ramped to off" must be off, not defaulted.
+func TestNegativeProbabilityPerChannel(t *testing.T) {
+	// jobDownload/background pick the event population each channel acts
+	// on (the two UnknownSite channels split by job correlation).
+	jobDownload := func(i int) *records.TransferEvent {
+		ev := event()
+		ev.EventID = int64(i)
+		ev.JediTaskID = int64(i + 1)
+		ev.Dataset = "data25.ds" + string(rune('a'+i%26))
+		return ev
+	}
+	background := func(i int) *records.TransferEvent {
+		ev := event()
+		ev.EventID = int64(i)
+		ev.JediTaskID = 0
+		return ev
+	}
+
+	cases := []struct {
+		name  string
+		set   func(*Config)
+		get   func(Config) float64
+		stat  func(Stats) int64
+		event func(int) *records.TransferEvent
+	}{
+		{"drop", func(c *Config) { c.DropTransferProb = -1 },
+			func(c Config) float64 { return c.DropTransferProb },
+			func(s Stats) int64 { return s.Dropped }, jobDownload},
+		{"taskid", func(c *Config) { c.DropTaskIDProb = -1 },
+			func(c Config) float64 { return c.DropTaskIDProb },
+			func(s Stats) int64 { return s.TaskIDLost }, jobDownload},
+		{"join", func(c *Config) { c.JoinBreakProb = -1 },
+			func(c Config) float64 { return c.JoinBreakProb },
+			func(s Stats) int64 { return s.JoinBroken }, jobDownload},
+		{"site-background", func(c *Config) { c.UnknownSiteProb = -1 },
+			func(c Config) float64 { return c.UnknownSiteProb },
+			func(s Stats) int64 { return s.SiteUnknowns }, background},
+		{"site-taskid", func(c *Config) { c.UnknownSiteProbTaskID = -1 },
+			func(c Config) float64 { return c.UnknownSiteProbTaskID },
+			func(s Stats) int64 { return s.SiteUnknowns }, jobDownload},
+		{"garble", func(c *Config) { c.GarbleSiteProb = -1 },
+			func(c Config) float64 { return c.GarbleSiteProb },
+			func(s Stats) int64 { return s.SiteGarbled }, jobDownload},
+		{"size", func(c *Config) { c.SizeJitterProb = -1 },
+			func(c Config) float64 { return c.SizeJitterProb },
+			func(s Stats) int64 { return s.SizeJittered }, jobDownload},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Every channel hot except drop (kept moderate so most events
+			// survive to exercise the downstream channels), then the
+			// channel under test forced negative.
+			cfg := Config{
+				DropTransferProb: 0.2, DropTaskIDProb: 0.9, JoinBreakProb: 0.9,
+				UnknownSiteProb: 0.9, UnknownSiteProbTaskID: 0.9,
+				GarbleSiteProb: 0.9, SizeJitterProb: 0.9,
+			}
+			tc.set(&cfg)
+			c := New(simtime.NewRNG(17), cfg)
+			if got := tc.get(c.Config()); got != 0 {
+				t.Fatalf("negative probability filled to %g, want exactly 0", got)
+			}
+			for i := 0; i < 400; i++ {
+				c.Transfer(tc.event(i))
+			}
+			st := c.Stats
+			if n := tc.stat(st); n != 0 {
+				t.Fatalf("channel %s fired %d times with its probability forced negative\nstats: %+v",
+					tc.name, n, st)
+			}
+			others := st.Dropped + st.TaskIDLost + st.JoinBroken +
+				st.SiteUnknowns + st.SiteGarbled + st.SizeJittered
+			if others == 0 {
+				t.Fatalf("no other channel fired — the corruptor was not exercised: %+v", st)
+			}
+		})
+	}
+}
+
+// TestNegativeLeavesOtherDefaultsIntact pins that clamping one field does
+// not disturb the zero-means-default convention of its neighbors.
+func TestNegativeLeavesOtherDefaultsIntact(t *testing.T) {
+	c := New(simtime.NewRNG(1), Config{JoinBreakProb: -1})
+	got := c.Config()
+	if got.JoinBreakProb != 0 {
+		t.Fatalf("JoinBreakProb = %g, want 0", got.JoinBreakProb)
+	}
+	if got.DropTransferProb != 0.01 || got.UnknownSiteProbTaskID != 0.40 || got.SizeJitterMax != 4096 {
+		t.Fatalf("neighboring defaults disturbed: %+v", got)
+	}
+}

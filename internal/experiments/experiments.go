@@ -14,6 +14,7 @@ import (
 	"panrucio/internal/simtime"
 	"panrucio/internal/stats"
 	"panrucio/internal/sweep"
+	"panrucio/internal/verify"
 )
 
 // Suite bundles one simulation run with the derived matching results.
@@ -155,6 +156,32 @@ func RobustnessSweep(seed int64, workers int) *sweep.Report {
 	return sweep.Run(
 		sweep.CorruptionRamp(sim.QuickConfig(seed), sweep.DefaultRampRates()),
 		sweep.Options{Workers: workers})
+}
+
+// DetectionSweep regenerates experiment E15: the canned verify grid — one
+// scenario per corruption channel pairing that channel's pre-ingest
+// corruption (the E14 tolerance axis, isolated per channel) with the same
+// channel's post-seal at-rest tamper, detected through the metastore's
+// segment commitments, plus a clean control for false positives. The
+// report's detection table must show 100% for every channel: commitments
+// cover every committed field, so any at-rest change misses its hash.
+// workers bounds the concurrent scenarios (<= 0 selects GOMAXPROCS); the
+// report is identical for any value.
+func DetectionSweep(seed int64, workers int) *sweep.Report {
+	return sweep.Run(
+		sweep.VerifyGrid(sim.QuickConfig(seed), sweep.DefaultVerifyProb),
+		sweep.Options{Workers: workers})
+}
+
+// OnlineVerify runs the E15 online half: the detect-and-repair loop over
+// the quick scenario with mid-run tamper planted each checkpoint — sealed
+// segments audited incrementally, the trailing read window re-audited,
+// fresh jobs anomaly-scanned via live RM2 matching, and a repair pass
+// closing the run.
+func OnlineVerify(seed int64) *verify.OnlineReport {
+	return verify.RunOnline(sim.QuickConfig(seed), verify.OnlineOptions{
+		Tamper: &verify.TamperConfig{Prob: sweep.DefaultVerifyProb, Seed: seed},
+	})
 }
 
 // Anomalies runs the automated anomaly scan (the paper's future-work

@@ -149,3 +149,29 @@ func BenchmarkStoreIngestIncremental(b *testing.B) {
 	b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(liveB/events, "live_B/event")
 }
+
+// BenchmarkAuditSealed measures the commitment-audit scan: re-hash every
+// sealed row of a frozen 16,000-event store and check it against the
+// seal-time commitments. rows/sec is the verification throughput the
+// online verify loop and the /api/verify endpoint pay per audit
+// (recorded in bench/BENCH_verify.json).
+func BenchmarkAuditSealed(b *testing.B) {
+	b.ReportAllocs()
+	s := metastore.NewShardedSegmented(0, 2048)
+	ingestWorkload(s, 200, 10, 8)
+	rep := s.AuditSealed()
+	if !rep.Clean() || rep.Rows == 0 {
+		b.Fatalf("audit setup broken: %+v", rep)
+	}
+	b.ResetTimer()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		rep := s.AuditSealed()
+		if !rep.Clean() {
+			b.Fatal("clean store audited dirty")
+		}
+		rows += rep.Rows
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "rows/sec")
+}

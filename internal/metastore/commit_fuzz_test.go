@@ -1,0 +1,124 @@
+package metastore_test
+
+import (
+	"testing"
+
+	"panrucio/internal/metastore"
+	"panrucio/internal/records"
+	"panrucio/internal/simtime"
+)
+
+// FuzzCommitmentAudit fuzzes the commitment/audit pair: build a sealed
+// store, let the input pick an arbitrary mutation of an arbitrary sealed
+// row (field, row, byte delta) or a truncation, and assert the audit
+// verdict matches ground truth exactly — every actual change is detected
+// (no false negatives), every no-op mutation audits clean (no false
+// positives). The tricky corners the fuzzer hunts: mutations that cancel
+// in the XOR aggregate, zero-delta writes, truncating zero rows, and
+// field values that collide under the length-prefixed serialization.
+//
+// Input layout: data[0] → segment rows (1..8), data[1] → shard count
+// (1..4), data[2] → tamper opcode, data[3] → target row selector,
+// data[4] → mutation byte, data[5:] → one ingested event per byte.
+func FuzzCommitmentAudit(f *testing.F) {
+	f.Add([]byte("\x02\x02\x00\x01\x07commit and audit this stream"))
+	f.Add([]byte("\x01\x01\x01\x00\x00truncate me"))
+	f.Add([]byte("\x04\x03\x02\x05\xffsites and sizes and datasets"))
+	f.Add([]byte("\x03\x02\x06\x02\x00zero delta must audit clean"))
+	f.Add([]byte("\x08\x04\x05\x09\x41abcdefghijklmnopqrstuvwxyz"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		segRows := 1 + int(data[0]%8)
+		shards := 1 + int(data[1]%4)
+		op, sel, mut := data[2], int(data[3]), data[4]
+
+		s := metastore.NewShardedSegmented(shards, segRows)
+		for i, b := range data[5:] {
+			ev := records.TransferEvent{
+				EventID:    int64(i + 1),
+				JediTaskID: int64(1 + b%5),
+				LFN:        "f", Scope: "s",
+				Dataset: "d", ProdDBlock: "p",
+				FileSize:   int64(b) + 1,
+				SourceSite: "CERN-PROD", DestinationSite: "BNL-ATLAS",
+				IsDownload: true,
+				StartedAt:  simtime.VTime(b % 23),
+				EndedAt:    simtime.VTime(b%23) + 40,
+			}
+			s.PutTransfer(&ev)
+		}
+		s.Seal()
+		if rep := s.AuditSealed(); !rep.Clean() {
+			t.Fatalf("clean store audits dirty: %+v", rep.Violations)
+		}
+
+		// Pick the sel-th sealed event row (mod total) as the target.
+		var target *records.TransferEvent
+		var ref metastore.SegmentRef
+		total := 0
+		s.SealedEventSegments(func(r metastore.SegmentRef, rows []*records.TransferEvent) {
+			total += len(rows)
+		})
+		if total == 0 {
+			return // stream too small to seal anything
+		}
+		idx, n := sel%total, 0
+		s.SealedEventSegments(func(r metastore.SegmentRef, rows []*records.TransferEvent) {
+			for _, ev := range rows {
+				if n == idx {
+					target, ref = ev, r
+				}
+				n++
+			}
+		})
+
+		// Apply one mutation; changed is ground truth for "content moved".
+		changed := false
+		switch op % 8 {
+		case 0:
+			changed = mut != 0
+			target.FileSize += int64(mut)
+		case 1:
+			drop := int(mut % 4)
+			changed = s.TruncateSealed(ref, drop) > 0
+		case 2:
+			old := target.Dataset
+			target.Dataset = string([]byte{mut})
+			changed = target.Dataset != old
+		case 3:
+			old := target.SourceSite
+			target.SourceSite = old + string([]byte{mut})
+			changed = true
+		case 4:
+			changed = mut != 0
+			target.StartedAt += simtime.VTime(mut)
+		case 5:
+			old := target.JediTaskID
+			target.JediTaskID = int64(mut)
+			changed = target.JediTaskID != old
+		case 6:
+			// no-op opcode: the audit must stay clean
+		case 7:
+			old := target.IsUpload
+			target.IsUpload = mut%2 == 1
+			changed = target.IsUpload != old
+		}
+
+		rep := s.AuditSealed()
+		if changed && rep.Clean() {
+			t.Fatalf("op=%d mut=%d on %v: mutation escaped the audit", op%8, mut, ref)
+		}
+		if !changed && !rep.Clean() {
+			t.Fatalf("op=%d mut=%d: no-op mutation audits dirty: %+v", op%8, mut, rep.Violations)
+		}
+
+		// Detection must survive compaction (freeze) too.
+		s.Freeze()
+		if rep := s.AuditSealed(); changed != !rep.Clean() {
+			t.Fatalf("op=%d mut=%d: post-freeze verdict flipped (changed=%v clean=%v)",
+				op%8, mut, changed, rep.Clean())
+		}
+	})
+}

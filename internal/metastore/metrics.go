@@ -36,4 +36,16 @@ var (
 		"store freezes that did reorganization work (idempotent fast-path hits excluded)")
 	mFreezeSeconds = obs.Default().Histogram("metastore_freeze_seconds",
 		"wall time of one reorganizing freeze", obs.DefBuckets)
+	mCommitRows = obs.Default().Counter("metastore_commit_rows_total",
+		"rows covered by seal-time integrity commitments (background, off the ingest path)")
+	mCommitSeconds = obs.Default().Histogram("metastore_commit_seconds",
+		"background commitment (row hashing) latency of one sealed segment", obs.DefBuckets)
+	mAudits = obs.Default().Counter("metastore_audits_total",
+		"integrity audits run (full, incremental, and windowed)")
+	mAuditRows = obs.Default().Counter("metastore_audit_rows_total",
+		"sealed rows re-hashed and checked against their commitments")
+	mAuditViolations = obs.Default().Counter("metastore_audit_violations_total",
+		"commitment violations detected across all audits")
+	mAuditSeconds = obs.Default().Histogram("metastore_audit_seconds",
+		"wall time of one integrity audit", obs.DefBuckets)
 )

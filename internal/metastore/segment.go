@@ -21,9 +21,36 @@ const DefaultSegmentRows = 1 << 15
 // sealed segment, a sorted tail view, or a binary-searched window into
 // either. rows and seqs are parallel; once a run has been sorted it is
 // immutable, so windows may alias it freely.
+//
+// Sealed runs additionally carry their integrity commitment (see
+// commit.go): a per-row hash array parallel to rows, the chain head over
+// the (time, seq) order, the order-independent XOR aggregate, and the row
+// count at commitment time. Tail views and windows leave these zero.
 type segRun[T any] struct {
 	rows []*T
 	seqs []uint32
+
+	hashes    []uint64 // seal-time row hashes, parallel to rows
+	chain     uint64   // running chain over hashes in (time, seq) order
+	agg       uint64   // XOR of all row hashes (order-independent)
+	committed int      // len(rows) at commitment time
+}
+
+// commitRows computes the run's integrity commitment from its current
+// contents: the per-row hashes in (time, seq) order, the chain head, the
+// XOR aggregate, and the committed row count. Runs in the seal's
+// background goroutine after sortByTime, so the ingest path never pays
+// for hashing.
+func (r *segRun[T]) commitRows(hash func(*T, uint32) uint64) {
+	r.hashes = make([]uint64, len(r.rows))
+	agg, chain := uint64(0), chainSeed()
+	for i, p := range r.rows {
+		h := hash(p, r.seqs[i])
+		r.hashes[i] = h
+		agg ^= h
+		chain = chainMix(chain, h)
+	}
+	r.agg, r.chain, r.committed = agg, chain, len(r.rows)
 }
 
 // window cuts the half-open [from, to) time window out of the run by
@@ -80,6 +107,11 @@ type segIndex[T any] struct {
 	at    func(*T) simtime.VTime
 	limit int // seal threshold in rows
 
+	// hash computes one row's commitment hash from (row, global seq); nil
+	// disables commitments (bare indices built by tests). Set once at
+	// construction, before any seal.
+	hash func(*T, uint32) uint64
+
 	sealed []*segRun[T]
 	start  int // first arena row of the tail
 
@@ -88,7 +120,12 @@ type segIndex[T any] struct {
 	// (or independently rebuild) the view without serializing on a lock.
 	tail atomic.Pointer[segRun[T]]
 
-	sealing sync.WaitGroup
+	// sealing publishes the background sort; committing additionally
+	// publishes the commitment hashes computed after it. Queries only need
+	// the sort (wait); audits, compaction, and reset need the commitments
+	// too (waitCommits), so hashing stays off the query critical path.
+	sealing    sync.WaitGroup
+	committing sync.WaitGroup
 }
 
 // noteAppend records that one row was appended to the arena, invalidating
@@ -125,11 +162,24 @@ func (x *segIndex[T]) seal(a *arena[T], seqs []uint32) {
 	mSeals.Inc()
 	mSealRows.Observe(float64(len(seg.rows)))
 	x.sealing.Add(1)
+	x.committing.Add(1)
 	go func() {
-		defer x.sealing.Done()
+		defer x.committing.Done()
 		t0 := time.Now()
 		seg.sortByTime(x.at)
 		mSealSortSeconds.ObserveSince(t0)
+		// Publish the sort before hashing: queries block only on the sorted
+		// order, not on the commitment computed over it.
+		x.sealing.Done()
+		if x.hash != nil {
+			// Commit the sealed contents while still off the ingest path:
+			// the segment is immutable from here on, so the hashes fix its
+			// canonical (time, seq) order and contents.
+			tc := time.Now()
+			seg.commitRows(x.hash)
+			mCommitRows.Add(int64(seg.committed))
+			mCommitSeconds.ObserveSince(tc)
+		}
 	}()
 }
 
@@ -137,6 +187,12 @@ func (x *segIndex[T]) seal(a *arena[T], seqs []uint32) {
 // sealed runs must call it first; the WaitGroup edge is what publishes the
 // sorted contents to them.
 func (x *segIndex[T]) wait() { x.sealing.Wait() }
+
+// waitCommits blocks until every in-flight seal has finished both its sort
+// and its commitment hashing. Anything that reads or rewrites the hashes —
+// audits, compaction (which carries them), truncation, reset — must use
+// this edge instead of wait.
+func (x *segIndex[T]) waitCommits() { x.committing.Wait() }
 
 // tailRun returns the sorted view of the tail, rebuilding it only when an
 // append has invalidated the cache. The view owns fresh arrays, so runs
@@ -177,7 +233,10 @@ func (x *segIndex[T]) windows(a *arena[T], seqs []uint32, from, to simtime.VTime
 	}
 	for _, seg := range x.sealed {
 		if all {
-			add(*seg)
+			// View only rows/seqs: the full struct copy would read the
+			// commitment fields, which the seal goroutine may still be
+			// writing — wait() publishes the sort, not the hashes.
+			add(segRun[T]{rows: seg.rows, seqs: seg.seqs})
 		} else {
 			add(seg.window(from, to, x.at))
 		}
@@ -196,8 +255,16 @@ func (x *segIndex[T]) windows(a *arena[T], seqs []uint32, from, to simtime.VTime
 // history. The merged run is built in fresh arrays; the old segment runs
 // are dropped but never mutated, so query results that alias them stay
 // intact.
+//
+// Commitments are CARRIED through the merge, never recomputed: each
+// surviving row keeps its seal-time hash, the aggregate is the XOR of the
+// input aggregates, and the committed count is their sum. Recomputing from
+// the current contents would launder any post-seal tamper into a fresh
+// clean commitment; carrying means a mismatch planted before compaction is
+// still detected after it (including truncation, which survives as a
+// committed-count excess over the merged length).
 func (x *segIndex[T]) compact() {
-	x.wait()
+	x.waitCommits()
 	if len(x.sealed) <= 1 {
 		return
 	}
@@ -207,7 +274,36 @@ func (x *segIndex[T]) compact() {
 		runs[i], seqs[i] = seg.rows, seg.seqs
 	}
 	rows, sq := mergeRuns(runs, seqs, x.at, true)
-	x.sealed = []*segRun[T]{{rows: rows, seqs: sq}}
+	merged := &segRun[T]{rows: rows, seqs: sq}
+
+	carried := true
+	total := 0
+	for _, seg := range x.sealed {
+		if seg.hashes == nil {
+			carried = false
+			break
+		}
+		total += len(seg.rows)
+	}
+	if carried {
+		byRow := make(map[*T]uint64, total)
+		for _, seg := range x.sealed {
+			for i, p := range seg.rows {
+				byRow[p] = seg.hashes[i]
+			}
+			merged.agg ^= seg.agg
+			merged.committed += seg.committed
+		}
+		merged.hashes = make([]uint64, len(rows))
+		chain := chainSeed()
+		for i, p := range rows {
+			h := byRow[p]
+			merged.hashes[i] = h
+			chain = chainMix(chain, h)
+		}
+		merged.chain = chain
+	}
+	x.sealed = []*segRun[T]{merged}
 }
 
 // single returns the lone sealed run after seal+compact (empty when the
@@ -229,7 +325,7 @@ func (x *segIndex[T]) segments() int { return len(x.sealed) }
 // segment sort first so a background sorter can never race the arena
 // clear that follows.
 func (x *segIndex[T]) reset() {
-	x.wait()
+	x.waitCommits()
 	x.sealed = nil
 	x.start = 0
 	x.tail.Store(nil)

@@ -60,6 +60,8 @@ func newShard(segRows int) *shard {
 	}
 	sh.jobSegs.at, sh.jobSegs.limit = jobEnd, segRows
 	sh.evSegs.at, sh.evSegs.limit = evStart, segRows
+	sh.jobSegs.hash = hashJobRow
+	sh.evSegs.hash = hashEventRow
 	return sh
 }
 

@@ -68,6 +68,56 @@ func TestHistogramEncoding(t *testing.T) {
 	}
 }
 
+// TestZeroObservationHistogram pins the exposition contract for a
+// histogram that has never been observed: every bucket, the _sum, and the
+// _count must still be present (at 0). Scrapers compute rates from
+// _sum/_count; a family that omits them until the first observation makes
+// the first real sample look like an unbounded rate spike.
+func TestZeroObservationHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("idle_seconds", "never observed", []float64{0.1, 1})
+	got := encode(t, r)
+	want := "# HELP idle_seconds never observed\n" +
+		"# TYPE idle_seconds histogram\n" +
+		`idle_seconds_bucket{le="0.1"} 0` + "\n" +
+		`idle_seconds_bucket{le="1"} 0` + "\n" +
+		`idle_seconds_bucket{le="+Inf"} 0` + "\n" +
+		"idle_seconds_sum 0\n" +
+		"idle_seconds_count 0\n"
+	if got != want {
+		t.Fatalf("zero-observation encoding mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramLabelEscapingComposesWithLe pins that escaped label values
+// (backslashes, newlines) survive composition with the synthetic le label
+// on every histogram sample line.
+func TestHistogramLabelEscapingComposesWithLe(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", "", []float64{1}, L("path", "a\\b\nc")).Observe(0.5)
+	got := encode(t, r)
+	for _, line := range []string{
+		`h_bucket{path="a\\b\nc",le="1"} 1`,
+		`h_bucket{path="a\\b\nc",le="+Inf"} 1`,
+		`h_sum{path="a\\b\nc"} 0.5`,
+		`h_count{path="a\\b\nc"} 1`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("missing line %q in:\n%s", line, got)
+		}
+	}
+	// The rendered body must contain no raw newline inside a label value:
+	// every line must parse as comment or `name{...} value`.
+	for _, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") || strings.Count(line, `"`)%2 != 0 {
+			t.Fatalf("unparseable sample line %q — raw newline leaked from a label value", line)
+		}
+	}
+}
+
 func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("x", "", []float64{10, 1, 0.1})

@@ -8,11 +8,14 @@ import (
 
 	"panrucio/internal/analysis"
 	"panrucio/internal/core"
+	"panrucio/internal/metastore"
 	"panrucio/internal/obs"
 	"panrucio/internal/records"
 	"panrucio/internal/report"
 	"panrucio/internal/sim"
+	"panrucio/internal/simtime"
 	"panrucio/internal/sweep"
+	"panrucio/internal/verify"
 )
 
 // Body is the uniform JSON envelope of the analysis endpoints: exactly
@@ -32,12 +35,13 @@ type Body struct {
 }
 
 // Experiments lists the valid /api/experiments/{id} ids, in E-number
-// order. E14 runs the canned robustness sweep (store-independent, cached
-// under epoch 0); everything else derives from the serving store.
+// order. E14 runs the canned robustness sweep and E15 the canned
+// detection sweep (both store-independent, cached under epoch 0);
+// everything else derives from the serving store.
 var Experiments = []string{
 	"summary", "rates", "fig2", "fig3", "table1", "table2a", "table2b",
 	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-	"checks", "anomaly", "e14",
+	"checks", "anomaly", "e14", "e15",
 }
 
 var experimentSet = func() map[string]bool {
@@ -60,6 +64,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/match", timed("match", s.handleMatch))
 	s.mux.HandleFunc("GET /api/task", timed("task", s.handleTask))
 	s.mux.HandleFunc("GET /api/pandaids", timed("pandaids", s.handlePandaIDs))
+	s.mux.HandleFunc("GET /api/verify", timed("verify", s.handleVerify))
 	s.mux.HandleFunc("POST /api/sweep", timed("sweep", s.handleSweep))
 }
 
@@ -154,7 +159,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	st := s.snapshot()
 	defer s.release()
 	key := cacheKey{digest: s.digest, epoch: st.epoch, id: id}
-	if id == "e14" {
+	if id == "e14" || id == "e15" {
 		key.epoch = 0 // store-independent: survives epoch advances
 	}
 	body, err, _ := s.cache.get(key, func() ([]byte, error) {
@@ -173,6 +178,11 @@ func (s *Server) renderExperiment(st *state, id string, epoch uint64) ([]byte, e
 	if id == "e14" {
 		rep := experimentsRobustness(st.res.Config, s.opt.MatchWorkers)
 		b.Sweep = rep
+		return json.Marshal(b)
+	}
+	if id == "e15" {
+		b.Sweep = experimentsDetection(st.res.Config, s.opt.MatchWorkers)
+		b.Table = experimentsOnline(st.res.Config)
 		return json.Marshal(b)
 	}
 	suite := st.getSuite(s.opt.MatchWorkers)
@@ -419,8 +429,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		grid = sweep.SeedFanOut(base, 8)
 	case "mix":
 		grid = sweep.MixGrid(base)
+	case "verify":
+		grid = sweep.VerifyGrid(base, sweep.DefaultVerifyProb)
 	default:
-		http.Error(w, fmt.Sprintf("unknown grid %q (want robustness, seeds, or mix)", gridName), http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("unknown grid %q (want robustness, seeds, mix, or verify)", gridName), http.StatusBadRequest)
 		return
 	}
 	if scenarios == 0 || scenarios > s.opt.SweepScenarioCap {
@@ -457,4 +469,103 @@ var experimentsRobustness = func(cfg sim.Config, workers int) *sweep.Report {
 	return sweep.Run(
 		sweep.CorruptionRamp(sim.QuickConfig(cfg.Seed), sweep.DefaultRampRates()),
 		sweep.Options{Workers: workers})
+}
+
+// experimentsDetection and experimentsOnline are the two halves of the E15
+// renderer — the per-channel tamper-detection sweep and the online
+// detect-and-repair loop — at the serving config's seed. Function vars for
+// the same reason as experimentsRobustness.
+var experimentsDetection = func(cfg sim.Config, workers int) *sweep.Report {
+	return sweep.Run(
+		sweep.VerifyGrid(sim.QuickConfig(cfg.Seed), sweep.DefaultVerifyProb),
+		sweep.Options{Workers: workers})
+}
+
+var experimentsOnline = func(cfg sim.Config) *report.Table {
+	return verify.RunOnline(sim.QuickConfig(cfg.Seed), verify.OnlineOptions{
+		Tamper: &verify.TamperConfig{Prob: sweep.DefaultVerifyProb, Seed: cfg.Seed},
+	}).Table()
+}
+
+// violationView flattens a metastore.Violation for the /api/verify body.
+type violationView struct {
+	Segment string `json:"segment"`
+	Row     int    `json:"row"`
+	Kind    string `json:"kind"`
+	Detail  string `json:"detail"`
+}
+
+// maxVerifyViolations caps how many violation details one /api/verify body
+// carries; the count field is always exact.
+const maxVerifyViolations = 32
+
+// handleVerify re-audits the serving store against its segment commitments
+// — full by default, or just the transfer rows in [from, to) seconds of
+// virtual time with ?from/?to. Never cached: re-running the verification
+// on every request is the point of the endpoint (a cached "clean" would
+// not cover tamper that happened after the cache fill). Like
+// /api/meta/layout, the body is layout-dependent (segment refs name
+// physical shards), but the clean/violation verdict and the commitment
+// digest are layout-independent.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	windowed := q.Get("from") != "" || q.Get("to") != ""
+	var from, to int64
+	var err error
+	if v := q.Get("from"); v != "" {
+		if from, err = strconv.ParseInt(v, 10, 64); err != nil {
+			http.Error(w, "bad \"from\" parameter", http.StatusBadRequest)
+			return
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if to, err = strconv.ParseInt(v, 10, 64); err != nil {
+			http.Error(w, "bad \"to\" parameter", http.StatusBadRequest)
+			return
+		}
+	}
+	if windowed && to <= from {
+		http.Error(w, "empty window: need from < to", http.StatusBadRequest)
+		return
+	}
+
+	st := s.snapshot()
+	defer s.release()
+	store := st.res.Store
+	var rep metastore.AuditReport
+	if windowed {
+		rep = store.AuditTransfersWindow(simtime.VTime(from), simtime.VTime(to))
+	} else {
+		rep = store.AuditSealed()
+	}
+	views := make([]violationView, 0, min(len(rep.Violations), maxVerifyViolations))
+	for _, v := range rep.Violations {
+		if len(views) == maxVerifyViolations {
+			break
+		}
+		views = append(views, violationView{
+			Segment: v.Ref.String(), Row: v.Row, Kind: string(v.Kind), Detail: v.Detail,
+		})
+	}
+	writeJSON(w, struct {
+		Digest     string          `json:"digest"`
+		Epoch      uint64          `json:"epoch"`
+		Windowed   bool            `json:"windowed"`
+		Commitment string          `json:"commitment"`
+		Segments   int             `json:"segments_audited"`
+		Rows       int             `json:"rows_audited"`
+		Clean      bool            `json:"clean"`
+		Violations int             `json:"violations"`
+		Details    []violationView `json:"details,omitempty"`
+	}{
+		Digest:     s.digest,
+		Epoch:      st.epoch,
+		Windowed:   windowed,
+		Commitment: store.StoreCommitment().Digest(),
+		Segments:   rep.Segments,
+		Rows:       rep.Rows,
+		Clean:      rep.Clean(),
+		Violations: len(rep.Violations),
+		Details:    views,
+	})
 }

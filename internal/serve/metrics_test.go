@@ -65,7 +65,7 @@ func TestMetricsEndpoint(t *testing.T) {
 // enabled or disabled. Two servers run the identical scenario, one with
 // obs gated off, and their bodies are compared path by path.
 func TestInstrumentationDoesNotChangeBodies(t *testing.T) {
-	stubE14(t)
+	stubSweepExperiments(t)
 	fetch := func() map[string]string {
 		s := NewFrozen(sim.Run(sim.QuickConfig(11)), Options{MatchWorkers: 2})
 		paths := []string{

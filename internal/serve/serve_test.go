@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"panrucio/internal/report"
 	"panrucio/internal/sim"
 	"panrucio/internal/simtime"
 	"panrucio/internal/sweep"
@@ -33,22 +34,31 @@ func get(t *testing.T, s *Server, target string) []byte {
 	return body
 }
 
-// stubE14 replaces the E14 renderer with a cheap canned report for the
-// duration of the test (the real one runs the full robustness sweep).
-func stubE14(t *testing.T) {
+// stubSweepExperiments replaces the E14/E15 renderers with cheap canned
+// reports for the duration of the test (the real ones run full sweep grids
+// plus, for E15, an extra online simulation).
+func stubSweepExperiments(t *testing.T) {
 	t.Helper()
-	orig := experimentsRobustness
+	origRobust, origDetect, origOnline := experimentsRobustness, experimentsDetection, experimentsOnline
 	experimentsRobustness = func(cfg sim.Config, workers int) *sweep.Report {
 		return &sweep.Report{}
 	}
-	t.Cleanup(func() { experimentsRobustness = orig })
+	experimentsDetection = func(cfg sim.Config, workers int) *sweep.Report {
+		return &sweep.Report{}
+	}
+	experimentsOnline = func(cfg sim.Config) *report.Table {
+		return &report.Table{Title: "E15 — online detect-and-repair loop (stub)"}
+	}
+	t.Cleanup(func() {
+		experimentsRobustness, experimentsDetection, experimentsOnline = origRobust, origDetect, origOnline
+	})
 }
 
 // TestGoldenBodiesAcrossLayouts pins the serving determinism contract:
 // every response body except /api/meta/layout is byte-identical for any
 // shard count, segment size, and matcher worker count.
 func TestGoldenBodiesAcrossLayouts(t *testing.T) {
-	stubE14(t)
+	stubSweepExperiments(t)
 	layouts := []struct {
 		shards, segrows, workers int
 	}{
@@ -174,7 +184,7 @@ func TestCacheSpeedup(t *testing.T) {
 // watching. Reads are batched into observer windows; none may observe a
 // mid-ingest store.
 func TestLiveServeUnderIngest(t *testing.T) {
-	stubE14(t)
+	stubSweepExperiments(t)
 	cfg := sim.QuickConfig(11)
 	cfg.Shards = 4
 	cfg.SegmentRows = 64

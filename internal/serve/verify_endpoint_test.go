@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"panrucio/internal/sim"
+	"panrucio/internal/simtime"
+	"panrucio/internal/verify"
+)
+
+// verifyBody mirrors the /api/verify response envelope.
+type verifyBody struct {
+	Digest     string `json:"digest"`
+	Epoch      uint64 `json:"epoch"`
+	Windowed   bool   `json:"windowed"`
+	Commitment string `json:"commitment"`
+	Segments   int    `json:"segments_audited"`
+	Rows       int    `json:"rows_audited"`
+	Clean      bool   `json:"clean"`
+	Violations int    `json:"violations"`
+	Details    []struct {
+		Segment string `json:"segment"`
+		Row     int    `json:"row"`
+		Kind    string `json:"kind"`
+		Detail  string `json:"detail"`
+	} `json:"details"`
+}
+
+func getVerify(t *testing.T, s *Server, target string) verifyBody {
+	t.Helper()
+	var v verifyBody
+	if err := json.Unmarshal(get(t, s, target), &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestVerifyEndpointClean pins the endpoint's honest-store behavior: the
+// full audit covers every sealed row and reports clean, the windowed form
+// audits a subset, and bad parameters are rejected.
+func TestVerifyEndpointClean(t *testing.T) {
+	cfg := sim.QuickConfig(11)
+	cfg.Shards = 4
+	cfg.SegmentRows = 64
+	res := sim.Run(cfg)
+	s := NewFrozen(res, Options{})
+
+	full := getVerify(t, s, "/api/verify")
+	if !full.Clean || full.Violations != 0 {
+		t.Fatalf("clean store: %+v", full)
+	}
+	if full.Rows == 0 || full.Segments == 0 {
+		t.Fatalf("full audit covered nothing: %+v", full)
+	}
+	if full.Commitment == "" || full.Windowed {
+		t.Fatalf("bad envelope: %+v", full)
+	}
+
+	win := getVerify(t, s, fmt.Sprintf("/api/verify?from=%d&to=%d",
+		int64(res.WindowFrom), int64(res.WindowFrom+6*simtime.Hour)))
+	if !win.Windowed || !win.Clean {
+		t.Fatalf("windowed audit: %+v", win)
+	}
+	if win.Rows == 0 || win.Rows >= full.Rows {
+		t.Fatalf("windowed audit rows %d, want in (0, %d)", win.Rows, full.Rows)
+	}
+
+	for _, target := range []string{
+		"/api/verify?from=abc",
+		"/api/verify?to=abc",
+		"/api/verify?from=100&to=100",
+		"/api/verify?from=200&to=100",
+	} {
+		if code, _ := do(t, s, http.MethodGet, target); code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", target, code)
+		}
+	}
+}
+
+// TestVerifyEndpointDetectsTamper pins the reason the endpoint exists and
+// is never cached: tamper applied to the serving store between requests is
+// visible to the next request.
+func TestVerifyEndpointDetectsTamper(t *testing.T) {
+	cfg := sim.QuickConfig(11)
+	cfg.Shards = 4
+	cfg.SegmentRows = 64
+	res := sim.Run(cfg)
+	s := NewFrozen(res, Options{})
+
+	if v := getVerify(t, s, "/api/verify"); !v.Clean {
+		t.Fatalf("dirty before tamper: %+v", v)
+	}
+
+	log := verify.TamperStore(res.Store, verify.TamperConfig{Prob: 0.02, Seed: 7})
+	if log.RowsTampered+log.SegmentsTruncated == 0 {
+		t.Fatal("tamper seam injected nothing")
+	}
+
+	v := getVerify(t, s, "/api/verify")
+	if v.Clean {
+		t.Fatal("endpoint reported clean after tamper — a cached verdict?")
+	}
+	if v.Violations != log.RowsTampered+log.SegmentsTruncated {
+		t.Fatalf("violations = %d, want %d tampered + %d truncated",
+			v.Violations, log.RowsTampered, log.SegmentsTruncated)
+	}
+	if len(v.Details) == 0 || len(v.Details) > maxVerifyViolations {
+		t.Fatalf("details length %d, want in [1, %d]", len(v.Details), maxVerifyViolations)
+	}
+	for _, d := range v.Details {
+		if d.Segment == "" || d.Kind == "" {
+			t.Fatalf("empty detail fields: %+v", d)
+		}
+	}
+}
+
+// TestLiveVerifyUnderIngest races the verify scan against live serving:
+// goroutines re-audit through /api/verify (full and windowed) while the
+// scenario ingests and other readers hit the match paths — the -race
+// extension the commitment scheme demands, since audits re-hash the same
+// sealed rows the matcher and ingest loop share.
+func TestLiveVerifyUnderIngest(t *testing.T) {
+	stubSweepExperiments(t)
+	cfg := sim.QuickConfig(11)
+	cfg.Shards = 4
+	cfg.SegmentRows = 64
+	s := NewLive(cfg, 6*simtime.Hour, Options{})
+
+	paths := []string{
+		"/api/verify",
+		"/api/verify?from=0&to=86400",
+		"/api/meta",
+		"/api/experiments/rates",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	stop := make(chan struct{})
+	sawRows := make(chan int, 1)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := paths[(w+i)%len(paths)]
+				code, body := do(t, s, http.MethodGet, p)
+				if code != http.StatusOK {
+					select {
+					case errs <- fmt.Sprintf("GET %s = %d: %s", p, code, body):
+					default:
+					}
+					return
+				}
+				if p == "/api/verify" {
+					var v verifyBody
+					if json.Unmarshal(body, &v) == nil {
+						if !v.Clean {
+							select {
+							case errs <- fmt.Sprintf("mid-run audit dirty: %d violations", v.Violations):
+							default:
+							}
+							return
+						}
+						if v.Rows > 0 {
+							select {
+							case sawRows <- v.Rows:
+							default:
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	<-s.Done()
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	select {
+	case <-sawRows:
+	default:
+		t.Error("verify audits never covered a sealed row during the live run")
+	}
+}

@@ -3,9 +3,11 @@ package sweep
 import (
 	"fmt"
 
+	"panrucio/internal/corruption"
 	"panrucio/internal/sim"
 	"panrucio/internal/simtime"
 	"panrucio/internal/topology"
+	"panrucio/internal/verify"
 )
 
 // Scenario is one point of a sweep grid: a fully specified sim.Config plus
@@ -20,6 +22,12 @@ type Scenario struct {
 	X float64
 	// Config is the complete scenario; the engine never mutates it.
 	Config sim.Config
+	// Tamper, when non-nil, mutates the store's sealed segments at rest
+	// AFTER the run and its matching passes, then audits: the integrity
+	// half of E15. The matching rates above measure tolerance of ingest
+	// corruption; the Detection outcome measures detection of post-seal
+	// tamper.
+	Tamper *verify.TamperConfig
 }
 
 // Variation is one value of an axis: a label fragment for the scenario ID,
@@ -208,4 +216,71 @@ func SeedFanOut(base sim.Config, n int) []Scenario {
 // background-traffic intensity (off / calibrated / doubled).
 func MixGrid(base sim.Config) []Scenario {
 	return Expand(base, WorkloadMixAxis(), BackgroundAxis(0, 1, 2))
+}
+
+// DefaultVerifyProb is the per-row tamper probability of the canned
+// verify grid — the E15 acceptance point (detection must be complete for
+// any p >= 0.05).
+const DefaultVerifyProb = 0.05
+
+// soloChannel builds a corruption config with exactly one channel active
+// at rate p: every other probability is forced to the negative sentinel
+// (exactly zero after fill), so the tolerance columns isolate the channel.
+func soloChannel(ch verify.Channel, p float64) corruption.Config {
+	c := corruption.Config{
+		DropTransferProb:      -1,
+		DropTaskIDProb:        -1,
+		JoinBreakProb:         -1,
+		UnknownSiteProb:       -1,
+		UnknownSiteProbTaskID: -1,
+		GarbleSiteProb:        -1,
+		SizeJitterProb:        -1,
+	}
+	switch ch {
+	case verify.ChannelDrop:
+		c.DropTransferProb = zeroable(p)
+	case verify.ChannelTaskID:
+		c.DropTaskIDProb = zeroable(p)
+	case verify.ChannelJoin:
+		c.JoinBreakProb = zeroable(p)
+	case verify.ChannelSite:
+		c.UnknownSiteProb = zeroable(p)
+		c.UnknownSiteProbTaskID = zeroable(p)
+	case verify.ChannelGarble:
+		c.GarbleSiteProb = zeroable(p)
+	case verify.ChannelSize:
+		c.SizeJitterProb = zeroable(p)
+	}
+	return c
+}
+
+// VerifyGrid is the canned integrity sweep behind experiment E15: one
+// scenario per corruption channel, each pairing the channel's PRE-INGEST
+// corruption at rate p (every other channel off — the tolerance columns,
+// E14's axis isolated per channel) with the same channel's POST-SEAL
+// at-rest tamper at rate p (the detection column), plus a clean control
+// scenario asserting zero false positives. Ingest corruption is invisible
+// to commitments (it happens before sealing) and tamper is invisible to
+// the matching rates (it happens after them) — the grid shows both sides
+// of that line: RM1/RM2 tolerate the former, the audits detect 100% of
+// the latter.
+func VerifyGrid(base sim.Config, p float64) []Scenario {
+	if p <= 0 {
+		p = DefaultVerifyProb
+	}
+	clean := base
+	clean.Corruption = corruption.Config{Disable: true}
+	scenarios := []Scenario{{ID: "clean", X: 0, Config: clean,
+		Tamper: &verify.TamperConfig{Prob: -1, Seed: base.Seed}}}
+	for i, ch := range verify.Channels() {
+		cfg := base
+		cfg.Corruption = soloChannel(ch, p)
+		scenarios = append(scenarios, Scenario{
+			ID:     fmt.Sprintf("tamper=%s", ch),
+			X:      float64(i + 1),
+			Config: cfg,
+			Tamper: &verify.TamperConfig{Prob: p, Channels: []verify.Channel{ch}, Seed: base.Seed},
+		})
+	}
+	return scenarios
 }

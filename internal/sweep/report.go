@@ -88,10 +88,46 @@ func (r *Report) JobTable() *report.Table {
 	return t
 }
 
+// DetectionTable is the E15 table: per scenario, what the tamper seam
+// injected into sealed segments and what the commitment audit caught,
+// next to the RM2 tolerance of the matching layer. Nil when no scenario
+// carried a tamper config (non-verify grids).
+func (r *Report) DetectionTable() *report.Table {
+	any := false
+	for _, o := range r.Outcomes {
+		if o.Detection != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	t := &report.Table{
+		Title: "Sweep — at-rest tamper detection by channel (E15)",
+		Columns: []string{"scenario", "rows tampered", "rows detected",
+			"segs rolled back", "rollbacks detected", "detection %", "rm2 %"},
+	}
+	for _, o := range r.Outcomes {
+		if o.Detection == nil {
+			continue
+		}
+		d := o.Detection
+		t.AddRow(o.ID,
+			fmt.Sprintf("%d", d.RowsTampered),
+			fmt.Sprintf("%d", d.RowsDetected),
+			fmt.Sprintf("%d", d.SegmentsTruncated),
+			fmt.Sprintf("%d", d.TruncsDetected),
+			fmt.Sprintf("%.1f%%", 100*d.Rate()),
+			fmt.Sprintf("%.2f%%", o.RM2.TransferPct))
+	}
+	return t
+}
+
 // Markdown renders the human-readable report: the E4/E5 scenario tables,
-// the match-rate curves, and every failed shape check (failures under
-// extreme scenarios are the robustness signal, so they are listed rather
-// than hidden).
+// the E15 detection table when present, the match-rate curves, and every
+// failed shape check (failures under extreme scenarios are the robustness
+// signal, so they are listed rather than hidden).
 func (r *Report) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# Scenario sweep — %d scenario(s)\n\n", len(r.Outcomes))
@@ -107,6 +143,9 @@ func (r *Report) Markdown() string {
 	}
 	md(r.TransferTable())
 	md(r.JobTable())
+	if dt := r.DetectionTable(); dt != nil {
+		md(dt)
+	}
 
 	b.WriteString("## Match-rate curves (matched-transfer % across scenarios)\n\n```\n")
 	b.WriteString(report.RenderSeries("exact / rm1 / rm2", 48, r.MatchRateCurves()))

@@ -12,6 +12,7 @@ import (
 	"panrucio/internal/records"
 	"panrucio/internal/sim"
 	"panrucio/internal/simtime"
+	"panrucio/internal/verify"
 )
 
 // Options tunes the engine's fan-out. The two knobs multiply: Workers
@@ -110,6 +111,12 @@ type Outcome struct {
 	Checks              []analysis.Check `json:"checks"`
 	ChecksPassed        int              `json:"checks_passed"`
 	ChecksFailed        int              `json:"checks_failed"`
+
+	// Detection is set for scenarios carrying a Tamper config (the E15
+	// verify grid): at-rest tamper reconciled against the post-tamper
+	// commitment audit.
+	Detection *verify.Detection `json:"detection,omitempty"`
+	Tamper    *verify.TamperLog `json:"tamper,omitempty"`
 }
 
 // Run executes every scenario over a bounded worker pool and aggregates
@@ -176,6 +183,23 @@ func evaluate(sc Scenario, store *metastore.Store, opt Options) Outcome {
 	cmp := analysis.CompareMethodsParallel(core.NewMatcher(res.Store), jobs, opt.MatchWorkers)
 	checks := analysis.ShapeChecks(res.Store, res.Grid, res.WindowFrom, res.WindowTo, cmp)
 
+	// The integrity half of E15: with the matching passes done (tolerance
+	// measured against ingest corruption), tamper the sealed segments at
+	// rest and reconcile the commitment audit against the ground-truth
+	// log. The pre-tamper audit pins zero false positives. The store is
+	// mutated, but the next scenario Resets it, so nothing leaks.
+	var det *verify.Detection
+	var tlog *verify.TamperLog
+	if sc.Tamper != nil {
+		cleanBefore := res.Store.AuditSealed().Clean()
+		log := verify.TamperStore(res.Store, *sc.Tamper)
+		d := verify.Detect(log, res.Store.AuditSealed())
+		det, tlog = &d, &log
+		checks = append(checks, analysis.DetectionChecks(
+			log.RowsTampered, d.RowsDetected,
+			log.SegmentsTruncated, d.TruncsDetected, cleanBefore)...)
+	}
+
 	out := Outcome{
 		ID:                  sc.ID,
 		X:                   sc.X,
@@ -186,6 +210,8 @@ func evaluate(sc Scenario, store *metastore.Store, opt Options) Outcome {
 		RM1:                 rate(cmp.RM1),
 		RM2:                 rate(cmp.RM2),
 		Checks:              checks,
+		Detection:           det,
+		Tamper:              tlog,
 	}
 	for _, row := range analysis.ActivityBreakdown(res.Store, cmp.Exact) {
 		out.Activity = append(out.Activity, ActivityCount{

@@ -1,0 +1,30 @@
+// Package verify closes the integrity loop over the metastore's segment
+// commitments (ROADMAP item 5): where internal/corruption degrades events
+// BEFORE ingest — damage the RM1/RM2 methods tolerate — this package
+// models tamper of data at rest AFTER it has been sealed and committed,
+// and detects it through the commitment audits the store exposes
+// (metastore commit.go).
+//
+// The package provides three layers:
+//
+//   - TamperStore: the fault injector. It replays each corruption channel
+//     (dataset join-break, site loss, garbling, size jitter, taskid drop)
+//     as an in-place mutation of sealed rows, plus segment truncation for
+//     the drop channel — the VDS rollback attack. Every applied mutation
+//     is guaranteed to actually change the row (eligibility filter), so
+//     the tamper log is exact ground truth for the audit.
+//   - Detect: the verdict. It reconciles an AuditReport against the tamper
+//     log into a Detection — tampered vs. detected rows, truncated vs.
+//     detected segments — the E15 detection-rate numbers.
+//   - RunOnline: the online loop. A sim.RunWithObserver checkpoint that
+//     seals, audits incrementally (only segments sealed since the last
+//     mark), re-audits the recent read window, scans fresh jobs for
+//     anomalies via live RM2 matching, and optionally plants mid-run
+//     tamper for the next checkpoint to catch; after the run it audits
+//     everything and applies core.RepairStore — detect and repair, not
+//     just tolerate.
+//
+// Experiment E15 (detection rate vs. corruption channel, alongside the
+// E14 tolerance columns) is assembled from these pieces by the sweep
+// engine's VerifyGrid and served as /api/experiment/e15 and /api/verify.
+package verify

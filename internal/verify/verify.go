@@ -1,0 +1,264 @@
+package verify
+
+import (
+	"fmt"
+
+	"panrucio/internal/metastore"
+	"panrucio/internal/obs"
+	"panrucio/internal/records"
+	"panrucio/internal/simtime"
+	"panrucio/internal/topology"
+)
+
+// Process-wide integrity-loop metrics: what the tamper seam injected and
+// what the audits caught, across every store in the process. The
+// metastore's own metastore_audit_* family counts rows and violations at
+// the audit layer; these count them at the detection layer, where a
+// violation is matched back to known ground truth.
+var (
+	mTamperedRows = obs.Default().Counter("verify_tampered_rows_total",
+		"sealed rows mutated at rest by the tamper seam (fault injection)")
+	mTruncatedSegs = obs.Default().Counter("verify_truncated_segments_total",
+		"sealed segments rolled back by the tamper seam (fault injection)")
+	mDetectedRows = obs.Default().Counter("verify_detected_rows_total",
+		"tampered rows caught by a commitment audit")
+	mDetectedTruncs = obs.Default().Counter("verify_detected_truncations_total",
+		"rolled-back segments caught by a commitment audit")
+	mOnlineCheckpoints = obs.Default().Counter("verify_online_checkpoints_total",
+		"online verify-loop checkpoints (seal + incremental audit + scan)")
+	mOnlineFindings = obs.Default().Counter("verify_online_findings_total",
+		"anomaly findings surfaced by the online loop's mid-run scans")
+	mRepairedLabels = obs.Default().Counter("verify_repaired_labels_total",
+		"endpoint labels rewritten by the online loop's repair pass")
+)
+
+// Channel names one at-rest tamper channel. Each mirrors the
+// internal/corruption channel of the same flavor, replayed against sealed
+// rows instead of in-flight events.
+type Channel string
+
+// The tamper channels. Drop is the odd one out: corruption drops events
+// before ingest, so its at-rest analogue is segment truncation — the
+// rollback attack of the VDS scheme.
+const (
+	ChannelDrop   Channel = "drop"   // truncate sealed segments
+	ChannelTaskID Channel = "taskid" // clear jeditaskid
+	ChannelJoin   Channel = "join"   // rewrite dataset with a _tid suffix
+	ChannelSite   Channel = "site"   // lose an endpoint label to UNKNOWN
+	ChannelGarble Channel = "garble" // invalid-URL site label
+	ChannelSize   Channel = "size"   // jitter the recorded file size
+)
+
+// Channels lists every tamper channel in report order.
+func Channels() []Channel {
+	return []Channel{ChannelDrop, ChannelTaskID, ChannelJoin, ChannelSite, ChannelGarble, ChannelSize}
+}
+
+// TamperConfig drives one tamper pass over a store's sealed segments.
+type TamperConfig struct {
+	// Prob is the per-row mutation probability (per-segment for the drop
+	// channel). <= 0 tampers nothing.
+	Prob float64
+	// Channels selects which channels run; nil means all of them.
+	Channels []Channel
+	// Seed makes the pass deterministic.
+	Seed int64
+	// From/To restrict tamper to rows with StartedAt in [From, To) when
+	// To > From — the online loop uses this to hit only the most recent
+	// checkpoint window. Zero values tamper everywhere.
+	From, To simtime.VTime
+}
+
+func (c TamperConfig) windowed() bool { return c.To > c.From }
+
+func (c TamperConfig) channels() []Channel {
+	if len(c.Channels) == 0 {
+		return Channels()
+	}
+	return c.Channels
+}
+
+// TamperLog is the ground truth of one tamper pass: exactly which damage
+// was done, as value data. Every counted row mutation actually changed the
+// row's committed content (no-op draws are skipped), so a complete audit
+// must report exactly RowsTampered row violations and SegmentsTruncated
+// truncation violations.
+type TamperLog struct {
+	RowsSeen          int             `json:"rows_seen"`
+	RowsTampered      int             `json:"rows_tampered"`
+	SegmentsTruncated int             `json:"segments_truncated"`
+	RowsTruncated     int             `json:"rows_truncated"`
+	ByChannel         map[Channel]int `json:"by_channel,omitempty"`
+}
+
+func (l *TamperLog) count(ch Channel) {
+	if l.ByChannel == nil {
+		l.ByChannel = map[Channel]int{}
+	}
+	l.ByChannel[ch]++
+}
+
+// absorb accumulates another pass's log into this one (the online loop
+// tampers once per checkpoint).
+func (l *TamperLog) absorb(o TamperLog) {
+	l.RowsSeen += o.RowsSeen
+	l.RowsTampered += o.RowsTampered
+	l.SegmentsTruncated += o.SegmentsTruncated
+	l.RowsTruncated += o.RowsTruncated
+	for ch, n := range o.ByChannel {
+		if l.ByChannel == nil {
+			l.ByChannel = map[Channel]int{}
+		}
+		l.ByChannel[ch] += n
+	}
+}
+
+// mutate applies one channel's mutation to a sealed event row, returning
+// false when the row is ineligible (the mutation would not change its
+// committed content — e.g. the site label is already UNKNOWN). The
+// eligibility filter is what makes the tamper log exact ground truth.
+func mutate(ch Channel, ev *records.TransferEvent, rng *simtime.RNG) bool {
+	switch ch {
+	case ChannelTaskID:
+		if ev.JediTaskID == 0 {
+			return false
+		}
+		ev.JediTaskID = 0
+	case ChannelJoin:
+		ev.Dataset = ev.Dataset + fmt.Sprintf("_tid%08d", rng.Int63n(1e8))
+	case ChannelSite:
+		switch {
+		case ev.DestinationSite != topology.UnknownSite:
+			ev.DestinationSite = topology.UnknownSite
+		case ev.SourceSite != topology.UnknownSite:
+			ev.SourceSite = topology.UnknownSite
+		default:
+			return false
+		}
+	case ChannelGarble:
+		ev.SourceSite = "gsiftp://invalid/" + ev.SourceSite
+	case ChannelSize:
+		delta := rng.Int63n(8192) - 4096
+		if delta == 0 {
+			delta = 1
+		}
+		ev.FileSize += delta
+	default:
+		return false
+	}
+	return true
+}
+
+// TamperStore mutates the store's sealed event segments in place per the
+// config and returns the exact log of what it did. The store's commitments
+// are NOT updated — that is the point: the divergence between content and
+// commitment is what the audits detect. Only sealed rows are touched (the
+// tail is uncommitted, so tampering it would be undetectable by design).
+func TamperStore(s *metastore.Store, cfg TamperConfig) TamperLog {
+	var log TamperLog
+	if cfg.Prob <= 0 {
+		return log
+	}
+	rng := simtime.NewRNG(cfg.Seed + 1)
+	chans := cfg.channels()
+	rowChans := make([]Channel, 0, len(chans))
+	truncate := false
+	for _, ch := range chans {
+		if ch == ChannelDrop {
+			truncate = true
+		} else {
+			rowChans = append(rowChans, ch)
+		}
+	}
+
+	s.SealedEventSegments(func(ref metastore.SegmentRef, rows []*records.TransferEvent) {
+		// Rollback: drop a Prob-fraction of each segment's committed rows
+		// (stochastically rounded, so small segments still truncate
+		// sometimes), mirroring the drop channel's per-event rate.
+		// Skipped for windowed tamper — truncation has no time coordinate
+		// to restrict by.
+		if truncate && !cfg.windowed() && len(rows) >= 2 {
+			drop := int(cfg.Prob*float64(len(rows)) + rng.Float64())
+			if drop > len(rows)/2 {
+				drop = len(rows) / 2
+			}
+			if drop > 0 {
+				if n := s.TruncateSealed(ref, drop); n > 0 {
+					log.SegmentsTruncated++
+					log.RowsTruncated += n
+					log.count(ChannelDrop)
+					rows = rows[:len(rows)-n]
+				}
+			}
+		}
+		if len(rowChans) == 0 {
+			log.RowsSeen += len(rows)
+			return
+		}
+		for _, ev := range rows {
+			log.RowsSeen++
+			if cfg.windowed() && (ev.StartedAt < cfg.From || ev.StartedAt >= cfg.To) {
+				continue
+			}
+			if !rng.Bool(cfg.Prob) {
+				continue
+			}
+			ch := rowChans[rng.Intn(len(rowChans))]
+			if mutate(ch, ev, rng) {
+				log.RowsTampered++
+				log.count(ch)
+			}
+		}
+	})
+	mTamperedRows.Add(int64(log.RowsTampered))
+	mTruncatedSegs.Add(int64(log.SegmentsTruncated))
+	return log
+}
+
+// Detection reconciles an audit against the tamper ground truth — the E15
+// detection-rate row.
+type Detection struct {
+	RowsTampered      int `json:"rows_tampered"`
+	RowsDetected      int `json:"rows_detected"`
+	SegmentsTruncated int `json:"segments_truncated"`
+	TruncsDetected    int `json:"truncs_detected"`
+}
+
+// Rate is the fraction of injected damage (row mutations + rollbacks) the
+// audit caught; 1 when nothing was injected (vacuously complete).
+func (d Detection) Rate() float64 {
+	total := d.RowsTampered + d.SegmentsTruncated
+	if total == 0 {
+		return 1
+	}
+	return float64(d.RowsDetected+d.TruncsDetected) / float64(total)
+}
+
+// Complete reports whether every injected mutation was detected and
+// nothing else was (violation counts exactly match the ground truth).
+func (d Detection) Complete() bool {
+	return d.RowsDetected == d.RowsTampered && d.TruncsDetected == d.SegmentsTruncated
+}
+
+// Detect reconciles the audit report with the tamper log. Row-tamper
+// violations are counted against mutated rows, truncation violations
+// against rolled-back segments; the eligibility filter in TamperStore
+// guarantees the counts can only match or expose a miss, never overcount
+// honest rows.
+func Detect(log TamperLog, rep metastore.AuditReport) Detection {
+	d := Detection{
+		RowsTampered:      log.RowsTampered,
+		SegmentsTruncated: log.SegmentsTruncated,
+	}
+	for _, v := range rep.Violations {
+		switch v.Kind {
+		case metastore.RowTamper:
+			d.RowsDetected++
+		case metastore.Truncation:
+			d.TruncsDetected++
+		}
+	}
+	mDetectedRows.Add(int64(d.RowsDetected))
+	mDetectedTruncs.Add(int64(d.TruncsDetected))
+	return d
+}

@@ -1,0 +1,181 @@
+package verify
+
+import (
+	"testing"
+
+	"panrucio/internal/metastore"
+	"panrucio/internal/metastore/storetest"
+	"panrucio/internal/records"
+	"panrucio/internal/simtime"
+	"panrucio/internal/topology"
+)
+
+// sealedStore builds a small sharded store with sealed segments — the
+// substrate every tamper test works against.
+func sealedStore(t *testing.T) *metastore.Store {
+	t.Helper()
+	s := metastore.NewShardedSegmented(4, 64)
+	storetest.Make(3, 2000).Ingest(s)
+	s.Seal()
+	return s
+}
+
+// TestTamperGroundTruth pins the core E15 invariant: the tamper log is
+// exact ground truth, so a full audit reports exactly the logged damage —
+// per channel, including the truncation channel.
+func TestTamperGroundTruth(t *testing.T) {
+	for _, ch := range Channels() {
+		t.Run(string(ch), func(t *testing.T) {
+			s := sealedStore(t)
+			if rep := s.AuditSealed(); !rep.Clean() {
+				t.Fatalf("store dirty before tamper: %d violations", len(rep.Violations))
+			}
+			log := TamperStore(s, TamperConfig{Prob: 0.05, Channels: []Channel{ch}, Seed: 7})
+			if log.RowsTampered == 0 && log.SegmentsTruncated == 0 {
+				t.Fatalf("channel %s injected nothing at p=0.05", ch)
+			}
+			d := Detect(log, s.AuditSealed())
+			if !d.Complete() {
+				t.Fatalf("channel %s: detection incomplete: tampered=%d detected=%d truncated=%d truncs detected=%d",
+					ch, d.RowsTampered, d.RowsDetected, d.SegmentsTruncated, d.TruncsDetected)
+			}
+			if d.Rate() != 1 {
+				t.Fatalf("channel %s: detection rate %.3f, want 1", ch, d.Rate())
+			}
+		})
+	}
+}
+
+// TestTamperAllChannels runs every channel in one pass and checks the
+// per-channel breakdown accounts for every counted mutation.
+func TestTamperAllChannels(t *testing.T) {
+	s := sealedStore(t)
+	log := TamperStore(s, TamperConfig{Prob: 0.1, Seed: 3})
+	total := 0
+	for _, n := range log.ByChannel {
+		total += n
+	}
+	if total != log.RowsTampered+log.SegmentsTruncated {
+		t.Fatalf("by-channel sum %d != tampered %d + truncated %d",
+			total, log.RowsTampered, log.SegmentsTruncated)
+	}
+	if d := Detect(log, s.AuditSealed()); !d.Complete() {
+		t.Fatalf("mixed-channel detection incomplete: %+v", d)
+	}
+}
+
+// TestTamperDisabled pins that Prob <= 0 is the no-tamper control: nothing
+// mutated, store still audits clean.
+func TestTamperDisabled(t *testing.T) {
+	s := sealedStore(t)
+	before := s.StoreCommitment()
+	for _, p := range []float64{0, -1} {
+		log := TamperStore(s, TamperConfig{Prob: p, Seed: 1})
+		if log.RowsTampered != 0 || log.SegmentsTruncated != 0 || log.RowsSeen != 0 {
+			t.Fatalf("p=%g tampered: %+v", p, log)
+		}
+	}
+	if s.StoreCommitment() != before {
+		t.Fatal("disabled tamper moved the store commitment")
+	}
+	if rep := s.AuditSealed(); !rep.Clean() {
+		t.Fatal("store dirty after disabled tamper")
+	}
+}
+
+// TestTamperDeterministic pins that the same seed does the same damage.
+func TestTamperDeterministic(t *testing.T) {
+	logA := TamperStore(sealedStore(t), TamperConfig{Prob: 0.05, Seed: 11})
+	logB := TamperStore(sealedStore(t), TamperConfig{Prob: 0.05, Seed: 11})
+	if logA.RowsTampered != logB.RowsTampered ||
+		logA.SegmentsTruncated != logB.SegmentsTruncated ||
+		logA.RowsTruncated != logB.RowsTruncated {
+		t.Fatalf("same seed, different damage: %+v vs %+v", logA, logB)
+	}
+}
+
+// TestTamperWindowRestriction pins that a windowed config touches only
+// rows whose StartedAt falls in [From, To), and skips truncation entirely.
+func TestTamperWindowRestriction(t *testing.T) {
+	s := sealedStore(t)
+
+	// Find the sealed time range, then tamper only its middle third.
+	var lo, hi = int64(1 << 62), int64(-1 << 62)
+	s.SealedEventSegments(func(_ metastore.SegmentRef, rows []*records.TransferEvent) {
+		for _, ev := range rows {
+			if int64(ev.StartedAt) < lo {
+				lo = int64(ev.StartedAt)
+			}
+			if int64(ev.StartedAt) > hi {
+				hi = int64(ev.StartedAt)
+			}
+		}
+	})
+	if lo >= hi {
+		t.Fatal("degenerate sealed time range")
+	}
+	from := simtime.VTime(lo + (hi-lo)/3)
+	to := simtime.VTime(lo + 2*(hi-lo)/3)
+
+	log := TamperStore(s, TamperConfig{Prob: 0.5, Seed: 5, From: from, To: to})
+	if log.SegmentsTruncated != 0 {
+		t.Fatalf("windowed tamper truncated %d segments, want 0", log.SegmentsTruncated)
+	}
+	if log.RowsTampered == 0 {
+		t.Fatal("windowed tamper at p=0.5 touched nothing")
+	}
+
+	// Every violation must point at a row inside the window.
+	rep := s.AuditSealed()
+	if d := Detect(log, rep); !d.Complete() {
+		t.Fatalf("windowed detection incomplete: %+v", d)
+	}
+	s.SealedEventSegments(func(ref metastore.SegmentRef, rows []*records.TransferEvent) {
+		for _, v := range rep.Violations {
+			if v.Ref == ref && v.Row < len(rows) {
+				ev := rows[v.Row]
+				// Garble/site/size mutations don't move StartedAt, so the
+				// violated row's time still reflects its original window.
+				if ev.StartedAt < from || ev.StartedAt >= to {
+					t.Errorf("violation at %s row %d: StartedAt %d outside window [%d, %d)",
+						ref, v.Row, ev.StartedAt, from, to)
+				}
+			}
+		}
+	})
+}
+
+// TestMutateEligibility pins the eligibility filter: a mutation that would
+// not change committed content returns false and leaves the row alone.
+func TestMutateEligibility(t *testing.T) {
+	rng := simtime.NewRNG(1)
+
+	ev := &records.TransferEvent{JediTaskID: 0}
+	if mutate(ChannelTaskID, ev, rng) {
+		t.Error("taskid mutation on zero taskid reported a change")
+	}
+
+	ev = &records.TransferEvent{SourceSite: topology.UnknownSite, DestinationSite: topology.UnknownSite}
+	if mutate(ChannelSite, ev, rng) {
+		t.Error("site mutation with both sites UNKNOWN reported a change")
+	}
+
+	ev = &records.TransferEvent{JediTaskID: 42}
+	if !mutate(ChannelTaskID, ev, rng) || ev.JediTaskID != 0 {
+		t.Error("taskid mutation on nonzero taskid did not clear it")
+	}
+
+	ev = &records.TransferEvent{FileSize: 1000}
+	if !mutate(ChannelSize, ev, rng) || ev.FileSize == 1000 {
+		t.Error("size mutation left FileSize unchanged")
+	}
+}
+
+// TestDetectionRateVacuous pins Rate() == 1 for a no-injection run (the
+// clean control divides by zero otherwise).
+func TestDetectionRateVacuous(t *testing.T) {
+	d := Detection{}
+	if d.Rate() != 1 || !d.Complete() {
+		t.Fatalf("empty detection: rate=%g complete=%v", d.Rate(), d.Complete())
+	}
+}
